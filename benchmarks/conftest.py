@@ -1,0 +1,48 @@
+"""Benchmark fixtures.
+
+Two shared suites, built once per session:
+
+* ``suite_full`` — all 113 JOB queries at ``small`` scale; used by the
+  estimation-quality benchmarks (Table 1, Figures 3–5), whose cost is
+  dominated by the exact-cardinality oracle.
+* ``suite_exec`` — a 36-query cross-section of the workload (every
+  structure family represented, sizes 4–13 relations) used by the
+  execution / enumeration benchmarks (Figures 6–9, Tables 2–3), where
+  each query is optimized and executed under many configurations.
+
+Every benchmark prints the regenerated table/figure rows; run with
+``pytest benchmarks/ --benchmark-only -s`` to see them inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSuite
+
+#: representative cross-section for the expensive runtime experiments
+EXEC_QUERIES = [
+    "1a", "1d", "2a", "2d", "3a", "3c", "4a", "5c", "6a", "6f",
+    "7c", "8c", "9d", "10c", "11d", "12c", "13a", "13d", "14c", "15d",
+    "16d", "17a", "17b", "17e", "18c", "19d", "20c", "21c", "23a", "24a",
+    "25c", "26c", "31c", "32a", "32b", "33a", "33c",
+]
+
+
+@pytest.fixture(scope="session")
+def suite_full() -> ExperimentSuite:
+    return ExperimentSuite(scale="small")
+
+
+@pytest.fixture(scope="session")
+def suite_exec() -> ExperimentSuite:
+    return ExperimentSuite(scale="small", query_names=EXEC_QUERIES)
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are deterministic and expensive; repeating them would
+    only re-measure caching.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

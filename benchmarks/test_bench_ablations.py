@@ -1,0 +1,81 @@
+"""Beyond-paper ablation benchmarks (DESIGN.md §6).
+
+* C_mm τ/λ sensitivity sweep
+* Quickpick sampling-budget sweep
+* join-crossing correlation knob vs estimation error
+* synthetic estimation-error scaling vs runtime
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_bench_cmm_parameter_sweep(suite_exec, benchmark):
+    result = run_once(benchmark, lambda: ablation.cmm_parameter_sweep(suite_exec))
+    print()
+    print(result.render())
+    assert result.relative_cost[(0.2, 2.0)] == 1.0
+
+
+def test_bench_quickpick_sweep(suite_exec, benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablation.quickpick_sample_sweep(
+            suite_exec, sample_sizes=(10, 100, 1000)
+        ),
+    )
+    print()
+    print(result.render())
+    assert result.stats[1000][0] <= result.stats[10][0] + 1e-9
+
+
+def test_bench_correlation_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablation.correlation_sweep(
+            ["6a", "13d", "16d", "25c"],
+            correlations=(0.0, 0.4, 0.8),
+            scale="small",
+            max_subexpr_size=5,
+        ),
+    )
+    print()
+    print(result.render())
+    top = max(result.median_ratio[0.8])
+    assert result.median_ratio[0.8][top] <= result.median_ratio[0.0][top] * 2
+
+
+def test_bench_join_sampling(suite_exec, benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablation.join_sampling_comparison(
+            suite_exec, max_subexpr_size=5
+        ),
+    )
+    print()
+    print(result.render())
+    assert result.within_2x["join-sampling"] >= result.within_2x["PostgreSQL"]
+
+
+def test_bench_hedging(suite_exec, benchmark):
+    result = run_once(
+        benchmark, lambda: ablation.hedging(suite_exec, factors=(1.0, 2.0, 4.0))
+    )
+    print()
+    print(result.render())
+    assert result.stats[4.0][2] <= result.stats[1.0][2] + 1e-9
+
+
+def test_bench_error_scaling(suite_exec, benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablation.error_scaling(
+            suite_exec, factors=(1.0, 10.0, 100.0, 1000.0)
+        ),
+    )
+    print()
+    print(result.render())
+    assert result.frac_slow[1.0] <= result.frac_slow[1000.0] + 0.05

@@ -1,0 +1,54 @@
+"""Estimator comparison on a workload slice (a mini Table 1 + Figure 3).
+
+Scenario: you maintain a query optimizer and must decide whether to invest
+in per-table samples (HyPer-style), damped join selectivities (DBMS A
+style), or keep plain histograms + independence (PostgreSQL style).  This
+example measures all five estimator families against exact cardinalities
+on a slice of the Join Order Benchmark and prints:
+
+* base-table selection q-errors (Table 1 form), and
+* join-estimate medians by join count (Figure 3 form),
+
+so the trade-off (samples fix base tables; nothing fixes join-crossing
+correlations; damping fixes the medians but not the variance) is visible
+in one screen of output.
+
+Run:  python examples/cardinality_study.py
+"""
+
+from repro.experiments import ExperimentSuite, fig3, table1
+from repro.experiments.harness import ESTIMATOR_ORDER
+
+QUERIES = ["1a", "4a", "6a", "8a", "13d", "16d", "17a", "22d", "25c", "28c"]
+
+
+def main() -> None:
+    print("building suite (small synthetic IMDB, 10 JOB queries)...")
+    suite = ExperimentSuite(scale="small", query_names=QUERIES)
+
+    print("\n== base-table selections (Table 1 form) ==")
+    t1 = table1.run(suite)
+    print(t1.render())
+
+    print("\n== join estimates by join count (Figure 3 form) ==")
+    f3 = fig3.run(suite, max_subexpr_size=6)
+    header = "estimator    " + "".join(
+        f"{j}-join median".rjust(16) for j in range(6)
+    )
+    print(header)
+    for name in ESTIMATOR_ORDER:
+        cells = []
+        for joins in range(6):
+            pct = f3.percentiles[name].get(joins)
+            cells.append(f"{pct[50]:16.4f}" if pct else " " * 16)
+        print(f"{name:12s}" + "".join(cells))
+
+    print(
+        "\nreading guide: medians < 1 mean systematic underestimation; the "
+        "damped estimator (DBMS A) keeps medians near 1 while its variance "
+        "stays as wide as everyone else's — exactly the paper's finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Explore the plan space of one query (the Figure 9 methodology).
+
+Samples thousands of random-but-valid join orders with Quickpick, costs
+them with true cardinalities under the C_mm cost model, and draws an ASCII
+density histogram of the cost distribution for all three index
+configurations, together with the DP optimum and the heuristics' picks.
+
+Run:  python examples/plan_space_explorer.py [query_name] [n_plans]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cost import SimpleCostModel
+from repro.cost.base import plan_cost
+from repro.datagen import generate_imdb
+from repro.cardinality import TrueCardinalities
+from repro.enumeration import DPEnumerator, QueryContext, goo, quickpick
+from repro.physical import IndexConfig, PhysicalDesign
+from repro.workloads import job_query
+
+
+def histogram(costs: np.ndarray, bins: int = 12, width: int = 44) -> str:
+    log_costs = np.log10(costs)
+    edges = np.linspace(log_costs.min(), log_costs.max() + 1e-9, bins + 1)
+    counts, _ = np.histogram(log_costs, bins=edges)
+    peak = counts.max()
+    lines = []
+    for b in range(bins):
+        bar = "#" * int(round(counts[b] / peak * width)) if peak else ""
+        lines.append(
+            f"  10^{edges[b]:5.2f}..10^{edges[b + 1]:5.2f} "
+            f"|{bar.ljust(width)}| {counts[b]}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    query_name = sys.argv[1] if len(sys.argv) > 1 else "13d"
+    n_plans = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    print("generating synthetic IMDB (small scale)...")
+    db = generate_imdb("small", seed=42)
+    query = job_query(query_name)
+    context = QueryContext(query)
+    truth = TrueCardinalities(db)
+    tcard = truth.bind(query)
+    cost_model = SimpleCostModel(db)
+
+    for config in (IndexConfig.NONE, IndexConfig.PK, IndexConfig.PK_FK):
+        design = PhysicalDesign(db, config)
+        dp = DPEnumerator(cost_model, design, allow_nlj=False)
+        _, optimal = dp.optimize(context, tcard)
+        _, _, plans = quickpick(
+            context, tcard, cost_model, design,
+            n_plans=n_plans, seed=1, collect_all=True,
+        )
+        costs = np.asarray([plan_cost(p, cost_model, tcard) for p in plans])
+        goo_plan, _ = goo(context, tcard, cost_model, design)
+        goo_cost = plan_cost(goo_plan, cost_model, tcard)
+        print(f"\n== {query.name} under {config.value} "
+              f"({n_plans} random plans) ==")
+        print(histogram(costs))
+        print(
+            f"  DP optimum: {optimal:.0f}   GOO: {goo_cost:.0f} "
+            f"({goo_cost / optimal:.2f}x)   "
+            f"random: median {np.median(costs) / optimal:.1f}x, "
+            f"worst {costs.max() / optimal:.0f}x of optimum"
+        )
+
+    print(
+        "\nreading guide: with FK indexes the distribution stretches and "
+        "good plans become rare needles — Section 6.1's point that richer "
+        "access paths make the optimizer's job harder."
+    )
+
+
+if __name__ == "__main__":
+    main()

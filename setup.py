@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` also works on environments without the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "How Good Are Query Optimizers, Really?"
+(Leis et al., VLDB 2015).
+
+The package contains every system the paper's study needs:
+
+* a column-oriented in-memory storage layer with indexes and ANALYZE
+  statistics (:mod:`repro.catalog`),
+* synthetic, correlation-rich IMDB data and a deliberately uniform TPC-H
+  instance (:mod:`repro.datagen`),
+* the Join Order Benchmark — 113 queries in 33 structures
+  (:mod:`repro.workloads`),
+* five cardinality estimator families plus the exact-cardinality oracle
+  and the paper's cardinality-injection mechanism
+  (:mod:`repro.cardinality`),
+* three cost models — disk-oriented, main-memory-tuned, and the paper's
+  C_mm (:mod:`repro.cost`),
+* exhaustive DP (bushy / zig-zag / left-deep / right-deep), Quickpick and
+  GOO plan enumeration (:mod:`repro.enumeration`),
+* a vectorised execution engine with estimate-sized hash tables,
+  nested-loop risk and work-budget timeouts (:mod:`repro.execution`),
+* one experiment module per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.datagen import generate_imdb
+    from repro.workloads import job_query
+    from repro.cardinality import PostgresEstimator, TrueCardinalities
+    from repro.cost import SimpleCostModel
+    from repro.physical import PhysicalDesign, IndexConfig
+    from repro.enumeration import QueryContext, DPEnumerator
+
+    db = generate_imdb("small")
+    query = job_query("13d")
+    estimator = PostgresEstimator(db)
+    design = PhysicalDesign(db, IndexConfig.PK_FK)
+    dp = DPEnumerator(SimpleCostModel(db), design)
+    plan, cost = dp.optimize(QueryContext(query), estimator.bind(query))
+    print(plan.pretty(query))
+"""
+
+from repro.errors import (
+    CatalogError,
+    EnumerationError,
+    EstimationError,
+    PlanError,
+    QueryError,
+    ReproError,
+    WorkBudgetExceeded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "QueryError",
+    "PlanError",
+    "EstimationError",
+    "EnumerationError",
+    "WorkBudgetExceeded",
+    "__version__",
+]

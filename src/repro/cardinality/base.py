@@ -1,0 +1,79 @@
+"""Estimator interface and the bound per-query cardinality function.
+
+Every optimizer component consumes cardinalities through a
+:class:`BoundCard` — a per-query adapter with memoisation and support for
+the *unfiltered* intermediate results that index-nested-loop joins need
+(Section 2.4: with an index on ``A.bid`` the system must also estimate
+``A ⋈ B`` *before* the selection on ``A`` is applied).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import EstimationError
+from repro.query.query import Query
+from repro.util.bitset import popcount
+
+
+class CardinalityEstimator(ABC):
+    """Abstract cardinality source.
+
+    Subclasses implement :meth:`cardinality`; everything else (caching,
+    binding) is shared.  Cardinalities are floats ≥ 1 — like PostgreSQL,
+    estimates below one row are rounded up, an implementation artifact the
+    paper explicitly calls out (footnote 6).
+    """
+
+    name: str = "estimator"
+
+    @abstractmethod
+    def cardinality(
+        self, query: Query, subset: int, unfiltered_alias: str | None = None
+    ) -> float:
+        """Estimated result size of the join over ``subset``.
+
+        ``unfiltered_alias`` (must be inside ``subset``) requests the size
+        of the same join with that alias's base selection *dropped* — the
+        pre-selection intermediate an index-nested-loop join produces.
+        """
+
+    def bind(self, query: Query) -> "BoundCard":
+        """A memoising per-query cardinality function."""
+        return BoundCard(self, query)
+
+
+class BoundCard:
+    """Memoising adapter: ``card(subset)`` / ``card.unfiltered(subset, a)``."""
+
+    def __init__(self, estimator: CardinalityEstimator, query: Query) -> None:
+        self.estimator = estimator
+        self.query = query
+        self._cache: dict[tuple[int, str | None], float] = {}
+
+    def __call__(self, subset: int) -> float:
+        return self._get(subset, None)
+
+    def unfiltered(self, subset: int, alias: str) -> float:
+        """Cardinality of ``subset`` with ``alias``'s selection dropped."""
+        if not (self.query.alias_bit(alias) & subset):
+            raise EstimationError(
+                f"unfiltered alias {alias!r} not inside subset {subset:#x}"
+            )
+        return self._get(subset, alias)
+
+    def _get(self, subset: int, unfiltered_alias: str | None) -> float:
+        if subset == 0 or popcount(subset) > self.query.n_relations:
+            raise EstimationError(f"invalid subset {subset:#x}")
+        key = (subset, unfiltered_alias)
+        value = self._cache.get(key)
+        if value is None:
+            value = float(
+                self.estimator.cardinality(self.query, subset, unfiltered_alias)
+            )
+            self._cache[key] = value
+        return value
+
+    @property
+    def name(self) -> str:
+        return self.estimator.name

@@ -1,0 +1,85 @@
+"""Cardinality injection (Section 2.4).
+
+The paper modifies PostgreSQL to accept externally supplied cardinalities
+for arbitrary join expressions, so the estimates of *other* systems (or
+the truth, or perturbed values) can drive PostgreSQL's optimizer.  This
+class is the equivalent mechanism: a per-subexpression override map
+consulted before a fallback estimator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.cardinality.base import CardinalityEstimator
+from repro.query.query import Query
+
+
+class InjectedCardinalities(CardinalityEstimator):
+    """Override specific subexpression cardinalities of one query.
+
+    Parameters
+    ----------
+    fallback:
+        Estimator consulted for subsets without an override (and for all
+        unfiltered-intermediate requests, unless those are injected too).
+    overrides:
+        ``{subset_mask: cardinality}`` for filtered subexpressions.
+    unfiltered_overrides:
+        ``{(subset_mask, alias): cardinality}`` for pre-selection
+        intermediates.
+    transform:
+        Optional function applied to *fallback* results (e.g. multiply by
+        a random factor to synthesise estimation error of a chosen
+        magnitude — used by the error-scaling ablation).
+    """
+
+    def __init__(
+        self,
+        fallback: CardinalityEstimator,
+        overrides: Mapping[int, float] | None = None,
+        unfiltered_overrides: Mapping[tuple[int, str], float] | None = None,
+        transform: Callable[[Query, int, float], float] | None = None,
+    ) -> None:
+        self.fallback = fallback
+        self.overrides = dict(overrides or {})
+        self.unfiltered_overrides = dict(unfiltered_overrides or {})
+        self.transform = transform
+        self.name = f"injected({fallback.name})"
+
+    def cardinality(
+        self, query: Query, subset: int, unfiltered_alias: str | None = None
+    ) -> float:
+        if unfiltered_alias is not None:
+            hit = self.unfiltered_overrides.get((subset, unfiltered_alias))
+            if hit is not None:
+                return float(hit)
+        else:
+            hit = self.overrides.get(subset)
+            if hit is not None:
+                return float(hit)
+        value = self.fallback.cardinality(query, subset, unfiltered_alias)
+        if self.transform is not None:
+            value = max(float(self.transform(query, subset, value)), 1.0)
+        return value
+
+    @classmethod
+    def from_estimator(
+        cls,
+        source: CardinalityEstimator,
+        query: Query,
+        subsets: list[int],
+        fallback: CardinalityEstimator,
+    ) -> "InjectedCardinalities":
+        """Pre-compute ``source`` estimates for ``subsets`` and inject them.
+
+        This reproduces the paper's workflow of extracting another
+        system's estimates and injecting them into the (PostgreSQL-like)
+        planning pipeline.
+        """
+        overrides = {
+            s: source.cardinality(query, s) for s in subsets
+        }
+        injected = cls(fallback, overrides=overrides)
+        injected.name = f"injected({source.name})"
+        return injected

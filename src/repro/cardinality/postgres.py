@@ -1,0 +1,57 @@
+"""The PostgreSQL-style estimator (Section 2.3).
+
+Base tables: per-attribute MCVs, equi-depth histograms and sampled
+distinct counts, with conjuncts multiplied under independence.  Joins: the
+formula ``|T1 ⋈ T2| = |T1|·|T2| / max(dom(x), dom(y))`` applied per edge.
+
+``use_true_distincts=True`` switches the join-domain inputs from the
+sample-estimated distinct counts to exact ones — the Figure 5 experiment.
+The paper's finding: true distinct counts *tighten* the error variance but
+make the systematic underestimation *worse*, because the underestimated
+distinct counts inflated the estimates toward the (correlation-inflated)
+truth — "two wrongs that make a right".
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Database
+from repro.cardinality.analytic import AnalyticEstimator
+from repro.cardinality.selectivity import stats_selectivity
+from repro.errors import EstimationError
+from repro.query.query import JoinEdge, Query
+
+
+class PostgresEstimator(AnalyticEstimator):
+    """Histogram + independence estimator modelled on PostgreSQL."""
+
+    def __init__(self, db: Database, use_true_distincts: bool = False) -> None:
+        super().__init__(db)
+        self.use_true_distincts = use_true_distincts
+        self.name = (
+            "postgres-true-distinct" if use_true_distincts else "postgres"
+        )
+
+    def base_selectivity(self, query: Query, alias: str) -> float:
+        table = query.relation_for(alias).table
+        pred = query.selection_of(alias)
+        if pred is None:
+            return 1.0
+        return stats_selectivity(self.db, table, pred)
+
+    def _distinct(self, table: str, column: str) -> float:
+        stats = self.db.statistics.get(table)
+        if stats is None:
+            raise EstimationError(
+                f"table {table!r} has no statistics; run analyze_database first"
+            )
+        col = stats.column(column)
+        if self.use_true_distincts:
+            return max(float(col.true_distinct), 1.0)
+        return max(col.n_distinct, 1.0)
+
+    def edge_selectivity(self, query: Query, edge: JoinEdge) -> float:
+        lt = query.relation_for(edge.left_alias).table
+        rt = query.relation_for(edge.right_alias).table
+        nd_left = self._distinct(lt, edge.left_column)
+        nd_right = self._distinct(rt, edge.right_column)
+        return 1.0 / max(nd_left, nd_right)

@@ -1,0 +1,203 @@
+"""Estimators mirroring the commercial systems' error profiles.
+
+The paper anonymises the three commercial systems but characterises their
+estimators precisely enough to model them:
+
+* **DBMS A** (:class:`DampedEstimator`): best-in-class base-table
+  estimates (sampling-like), and join estimates whose *medians stay close
+  to the truth* because multiple selectivities are combined with a
+  damping factor instead of full independence ("adjusting the
+  selectivities upwards"), while the variance remains similar to the
+  others (Section 3.2).
+* **DBMS B** (:class:`CoarseHistogramEstimator`): coarse per-attribute
+  histograms and the most aggressive systematic underestimation,
+  "frequently estimates 1 row for queries with more than 2 joins".
+* **DBMS C** (:class:`MagicConstantEstimator`): heavily magic-constant
+  driven base estimates with the largest base-table q-errors, including
+  severe overestimation (Table 1: 90th percentile 1677).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.catalog.schema import Database
+from repro.cardinality.analytic import AnalyticEstimator
+from repro.cardinality.sampling import SamplingEstimator
+from repro.query import predicates as P
+from repro.query.query import JoinEdge, Query
+
+
+class DampedEstimator(SamplingEstimator):
+    """"DBMS A": sampled base tables + damped join selectivity product.
+
+    Every join-edge selectivity enters the product with an exponent
+    ``alpha < 1`` — the back-off many optimizers use because "the more
+    predicates need to be applied, the less certain one should be about
+    their independence".  Raising a tiny selectivity ``1/dom`` to the
+    power 0.8 boosts the estimate by ``dom^0.2`` per edge, which counters
+    the (correlation-induced) systematic underestimation multiplicatively
+    per join — the medians stay near the truth while the variance remains
+    comparable to the independence-based estimators, matching the paper's
+    description of DBMS A.
+    """
+
+    #: per-edge damping exponent (1.0 = pure independence)
+    DAMPING_EXPONENT = 0.9
+
+    def __init__(
+        self, db: Database, sample_size: int = 1000, seed: int = 321
+    ) -> None:
+        super().__init__(db, sample_size=sample_size, seed=seed)
+        self.name = "damped"
+
+    def combine_edge_selectivities(self, sels: Sequence[float]) -> float:
+        out = 1.0
+        for s in sels:
+            out *= s**self.DAMPING_EXPONENT
+        return out
+
+
+class CoarseHistogramEstimator(AnalyticEstimator):
+    """"DBMS B": coarse histograms, no MCVs, harsh underestimation.
+
+    Base equality selectivity is the uniform ``1/n_distinct`` (no MCV
+    correction), ranges use a crude min/max interpolation, and join edges
+    are *over*-penalised with an exponent > 1 on the domain selectivity,
+    driving multi-join estimates toward the 1-row clamp.
+    """
+
+    #: exponent applied to each edge's domain selectivity (>1 = harsher)
+    UNDERESTIMATION_EXPONENT = 1.3
+
+    def __init__(self, db: Database) -> None:
+        super().__init__(db)
+        self.name = "coarse"
+
+    def base_selectivity(self, query: Query, alias: str) -> float:
+        table = query.relation_for(alias).table
+        pred = query.selection_of(alias)
+        if pred is None:
+            return 1.0
+        return min(max(self._pred_sel(table, pred), 1e-9), 1.0)
+
+    def _pred_sel(self, table: str, pred: P.Predicate) -> float:
+        if isinstance(pred, P.And):
+            out = 1.0
+            for child in pred.children:
+                out *= self._pred_sel(table, child)
+            return out
+        if isinstance(pred, P.Or):
+            out = 0.0
+            for child in pred.children:
+                s = self._pred_sel(table, child)
+                out = out + s - out * s
+            return out
+        if isinstance(pred, P.Not):
+            return 1.0 - self._pred_sel(table, pred.child)
+        if isinstance(pred, (P.Comparison, P.InList)):
+            column = next(iter(pred.columns()))
+            nd = self._distinct_estimate(table, column)
+            if isinstance(pred, P.InList):
+                return min(len(pred.values) / nd, 1.0)
+            if pred.op == "=":
+                return 1.0 / nd
+            if pred.op == "!=":
+                return 1.0 - 1.0 / nd
+            return self._crude_range(table, pred)
+        if isinstance(pred, P.Between):
+            return self._crude_between(table, pred)
+        if isinstance(pred, P.Like):
+            return 0.9 if pred.negate else 0.002
+        if isinstance(pred, P.IsNull):
+            return 0.05
+        if isinstance(pred, P.IsNotNull):
+            return 0.95
+        return 0.01
+
+    def _bounds(self, table: str, column: str) -> tuple[float, float]:
+        stats = self.db.statistics[table].column(column)
+        return float(stats.min_value), float(stats.max_value)
+
+    def _crude_range(self, table: str, pred: P.Comparison) -> float:
+        lo, hi = self._bounds(table, pred.column)
+        if hi <= lo:
+            return 1.0 / 3.0
+        value = pred.value
+        if isinstance(value, str):
+            col = self.db.table(table).column(pred.column)
+            value = float(np.searchsorted(col.dictionary, value))
+        frac = (float(value) - lo) / (hi - lo)
+        frac = min(max(frac, 0.0), 1.0)
+        return frac if pred.op in ("<", "<=") else 1.0 - frac
+
+    def _crude_between(self, table: str, pred: P.Between) -> float:
+        lo, hi = self._bounds(table, pred.column)
+        if hi <= lo:
+            return 1.0 / 3.0
+        p_lo = lo if pred.lo is None else max(float(pred.lo), lo)
+        p_hi = hi if pred.hi is None else min(float(pred.hi), hi)
+        return max(p_hi - p_lo, 0.0) / (hi - lo)
+
+    def edge_selectivity(self, query: Query, edge: JoinEdge) -> float:
+        sel = self._edge_domain_selectivity(query, edge)
+        return sel**self.UNDERESTIMATION_EXPONENT
+
+
+class MagicConstantEstimator(AnalyticEstimator):
+    """"DBMS C": magic constants for base tables, fixed join domains.
+
+    Base estimates ignore the data entirely (fixed selectivity per
+    predicate type), which yields enormous errors in both directions; the
+    join formula uses a fixed assumed domain size, over- or under-
+    estimating depending on the real key domains.
+    """
+
+    EQ_SEL = 0.01
+    RANGE_SEL = 1.0 / 3.0
+    LIKE_SEL = 0.05
+    IN_SEL_PER_VALUE = 0.01
+    ASSUMED_DOMAIN = 1000.0
+
+    def __init__(self, db: Database) -> None:
+        super().__init__(db)
+        self.name = "magic"
+
+    def base_selectivity(self, query: Query, alias: str) -> float:
+        pred = query.selection_of(alias)
+        if pred is None:
+            return 1.0
+        return min(max(self._pred_sel(pred), 1e-9), 1.0)
+
+    def _pred_sel(self, pred: P.Predicate) -> float:
+        if isinstance(pred, P.And):
+            out = 1.0
+            for child in pred.children:
+                out *= self._pred_sel(child)
+            return out
+        if isinstance(pred, P.Or):
+            out = 0.0
+            for child in pred.children:
+                s = self._pred_sel(child)
+                out = out + s - out * s
+            return out
+        if isinstance(pred, P.Not):
+            return 1.0 - self._pred_sel(pred.child)
+        if isinstance(pred, P.Comparison):
+            return self.EQ_SEL if pred.op in ("=", "!=") else self.RANGE_SEL
+        if isinstance(pred, P.Between):
+            return self.RANGE_SEL
+        if isinstance(pred, P.InList):
+            return min(self.IN_SEL_PER_VALUE * len(pred.values), 1.0)
+        if isinstance(pred, P.Like):
+            return 1.0 - self.LIKE_SEL if pred.negate else self.LIKE_SEL
+        if isinstance(pred, P.IsNull):
+            return 0.01
+        if isinstance(pred, P.IsNotNull):
+            return 0.99
+        return 0.01
+
+    def edge_selectivity(self, query: Query, edge: JoinEdge) -> float:
+        return 1.0 / self.ASSUMED_DOMAIN

@@ -1,0 +1,53 @@
+"""Error metrics for cardinality estimates (Section 3.1).
+
+The q-error is "the factor by which an estimate differs from the true
+cardinality": ``q = max(est/true, true/est)``.  It is symmetric (an
+estimate of 10 and of 1000 for a truth of 100 both have q-error 10) and
+captures the planning intuition that only *relative* differences matter.
+
+``signed_ratio`` preserves the direction (``< 1`` = underestimation,
+``> 1`` = overestimation) for Figure 3-style plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _clamp(value: float) -> float:
+    """Guard against zero: both axes are counts, treat 0 as 1 row.
+
+    (PostgreSQL rounds estimates below one row up to 1, and an empty true
+    result is equivalent to a single row for plan-quality purposes.)
+    """
+    return max(float(value), 1.0)
+
+
+def q_error(estimate: float, true: float) -> float:
+    """The symmetric q-error ``max(est/true, true/est)`` (always >= 1)."""
+    est = _clamp(estimate)
+    tru = _clamp(true)
+    return max(est / tru, tru / est)
+
+
+def signed_ratio(estimate: float, true: float) -> float:
+    """Directional error ``est/true``; < 1 under-, > 1 overestimation."""
+    return _clamp(estimate) / _clamp(true)
+
+
+def q_error_percentiles(
+    estimates: Sequence[float],
+    trues: Sequence[float],
+    pcts: Sequence[float] = (50, 90, 95, 100),
+) -> dict[float, float]:
+    """Percentiles of q-errors for paired estimates/truths (Table 1)."""
+    if len(estimates) != len(trues):
+        raise ValueError("estimates and trues must have equal length")
+    if not estimates:
+        raise ValueError("empty input")
+    errors = np.array(
+        [q_error(e, t) for e, t in zip(estimates, trues)], dtype=float
+    )
+    return {p: float(np.percentile(errors, p)) for p in pcts}

@@ -1,0 +1,289 @@
+"""Exact cardinalities for every connected subexpression (Section 2.4).
+
+The paper obtains the true cardinality of each intermediate result with
+``SELECT COUNT(*)`` queries.  We do the equivalent by materialising every
+connected subexpression bottom-up: each connected subset ``S`` of size k
+has a connected subset ``S'`` of size k-1 with ``S = S' + r`` (remove a
+leaf of a spanning tree), so ``S``'s exact result is one equi-join away
+from an already-materialised result.
+
+To keep memory bounded, a subexpression's materialisation is *compressed*
+to exactly the key columns that can still participate in future joins —
+the columns of edges leaving ``S``.  For the JOB-style star queries this
+collapses an arbitrary intermediate to one or two int64 columns
+(multiplicities preserved), making exhaustive truth computation feasible
+in pure Python/numpy.
+
+Index-nested-loop costing additionally needs *unfiltered* intermediate
+sizes — the result of joining an outer plan with a base table **before**
+that table's selection is applied (the paper's ``A ⋈ B`` vs
+``σ(A) ⋈ B`` distinction); :meth:`TrueCardinalities.cardinality` supports
+these through ``unfiltered_alias``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.schema import Database
+from repro.cardinality.base import CardinalityEstimator
+from repro.errors import EstimationError
+from repro.query.join_graph import JoinGraph
+from repro.query.query import Query
+from repro.query.subgraphs import SubgraphCatalog
+from repro.util.bitset import popcount
+from repro.util.joinkeys import equi_join_indices
+
+
+@dataclass
+class _KeyedResult:
+    """Compressed materialisation: outgoing-edge key columns only."""
+
+    n_rows: int
+    keys: dict[tuple[str, str], np.ndarray]
+
+
+class _QueryState:
+    """Per-query caches of the truth oracle."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.graph = JoinGraph(query)
+        self.catalog = SubgraphCatalog(self.graph)
+        self.counts: dict[int, int] = {}
+        self.unfiltered_counts: dict[tuple[int, str], int] = {}
+        self.results: dict[int, _KeyedResult] = {}
+        self.base_row_ids: dict[str, np.ndarray] = {}
+
+
+class TrueCardinalities(CardinalityEstimator):
+    """The exact cardinality oracle.
+
+    Parameters
+    ----------
+    db:
+        The database to count in.
+    max_rows:
+        Safety valve: materialising any single intermediate beyond this
+        row count raises :class:`~repro.errors.EstimationError` instead of
+        exhausting memory.
+    """
+
+    name = "true"
+
+    def __init__(self, db: Database, max_rows: int = 50_000_000) -> None:
+        self.db = db
+        self.max_rows = max_rows
+        self._states: dict[int, _QueryState] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _state(self, query: Query) -> _QueryState:
+        state = self._states.get(id(query))
+        if state is None or state.query is not query:
+            state = _QueryState(query)
+            self._states[id(query)] = state
+        return state
+
+    def cardinality(
+        self, query: Query, subset: int, unfiltered_alias: str | None = None
+    ) -> float:
+        state = self._state(query)
+        if unfiltered_alias is not None:
+            return float(self._unfiltered_count(state, subset, unfiltered_alias))
+        return float(self._count(state, subset))
+
+    # ------------------------------------------------------------------ #
+    # base relations
+    # ------------------------------------------------------------------ #
+
+    def _base_rows(self, state: _QueryState, alias: str) -> np.ndarray:
+        row_ids = state.base_row_ids.get(alias)
+        if row_ids is None:
+            rel = state.query.relation_for(alias)
+            table = self.db.table(rel.table)
+            pred = state.query.selection_of(alias)
+            if pred is None:
+                row_ids = np.arange(table.n_rows, dtype=np.int64)
+            else:
+                row_ids = np.nonzero(pred.evaluate(table))[0].astype(np.int64)
+            state.base_row_ids[alias] = row_ids
+        return row_ids
+
+    def _singleton_result(
+        self, state: _QueryState, subset: int, filtered: bool = True
+    ) -> _KeyedResult:
+        index = subset.bit_length() - 1
+        rel = state.query.relation_at(index)
+        table = self.db.table(rel.table)
+        if filtered:
+            row_ids = self._base_rows(state, rel.alias)
+        else:
+            row_ids = np.arange(table.n_rows, dtype=np.int64)
+        keys: dict[tuple[str, str], np.ndarray] = {}
+        for edge in state.query.joins:
+            if rel.alias in edge.aliases():
+                _, col = edge.side(rel.alias)
+                if (rel.alias, col) not in keys:
+                    keys[(rel.alias, col)] = table.column(col).values[row_ids]
+        return _KeyedResult(n_rows=len(row_ids), keys=keys)
+
+    # ------------------------------------------------------------------ #
+    # composite subexpressions
+    # ------------------------------------------------------------------ #
+
+    def _count(self, state: _QueryState, subset: int) -> int:
+        count = state.counts.get(subset)
+        if count is None:
+            count = self._materialize(state, subset).n_rows
+            state.counts[subset] = count
+        return count
+
+    def _materialize(self, state: _QueryState, subset: int) -> _KeyedResult:
+        result = state.results.get(subset)
+        if result is not None:
+            return result
+        if popcount(subset) == 1:
+            result = self._singleton_result(state, subset)
+        else:
+            if not state.graph.is_connected(subset):
+                raise EstimationError(
+                    f"subset {subset:#x} of query {state.query.name!r} "
+                    "is not connected"
+                )
+            parent, bit = state.catalog.expansion_parent(subset)
+            left = self._materialize(state, parent)
+            right = self._singleton_result(state, bit)
+            result = self._join(state, subset, parent, left, bit, right)
+        state.results[subset] = result
+        state.counts[subset] = result.n_rows
+        return result
+
+    def _join(
+        self,
+        state: _QueryState,
+        subset: int,
+        parent: int,
+        left: _KeyedResult,
+        bit: int,
+        right: _KeyedResult,
+        count_only: bool = False,
+    ) -> _KeyedResult:
+        query = state.query
+        edges = state.graph.edges_between(parent, bit)
+        r_alias = query.relation_at(bit.bit_length() - 1).alias
+        left_cols = []
+        right_cols = []
+        for edge in edges:
+            o_alias, o_col = edge.other(r_alias)
+            _, r_col = edge.side(r_alias)
+            left_cols.append(left.keys[(o_alias, o_col)])
+            right_cols.append(right.keys[(r_alias, r_col)])
+        lidx, ridx = equi_join_indices(left_cols, right_cols)
+        n_out = len(lidx)
+        if n_out > self.max_rows:
+            raise EstimationError(
+                f"intermediate result of {query.name!r} exceeds max_rows "
+                f"({n_out} > {self.max_rows})"
+            )
+        if count_only:
+            return _KeyedResult(n_rows=n_out, keys={})
+        keys: dict[tuple[str, str], np.ndarray] = {}
+        outgoing = self._outgoing_key_columns(state, subset)
+        for alias, col in outgoing:
+            if (alias, col) in left.keys:
+                keys[(alias, col)] = left.keys[(alias, col)][lidx]
+            else:
+                keys[(alias, col)] = right.keys[(alias, col)][ridx]
+        return _KeyedResult(n_rows=n_out, keys=keys)
+
+    def _outgoing_key_columns(
+        self, state: _QueryState, subset: int
+    ) -> set[tuple[str, str]]:
+        """Key columns of edges that leave ``subset`` (still joinable)."""
+        query = state.query
+        out: set[tuple[str, str]] = set()
+        for edge in query.joins:
+            left_bit = query.alias_bit(edge.left_alias)
+            right_bit = query.alias_bit(edge.right_alias)
+            inside_left = bool(left_bit & subset)
+            inside_right = bool(right_bit & subset)
+            if inside_left != inside_right:
+                alias = edge.left_alias if inside_left else edge.right_alias
+                _, col = edge.side(alias)
+                out.add((alias, col))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # unfiltered (pre-selection) intermediates for INLJ costing
+    # ------------------------------------------------------------------ #
+
+    def _unfiltered_count(
+        self, state: _QueryState, subset: int, alias: str
+    ) -> int:
+        query = state.query
+        bit = query.alias_bit(alias)
+        if not (bit & subset):
+            raise EstimationError(f"alias {alias!r} not in subset {subset:#x}")
+        if popcount(subset) == 1:
+            return self.db.table(query.relation_for(alias).table).n_rows
+        key = (subset, alias)
+        count = state.unfiltered_counts.get(key)
+        if count is not None:
+            return count
+        outer = subset ^ bit
+        if not state.graph.is_connected(outer) or not state.graph.connects(
+            outer, bit
+        ):
+            raise EstimationError(
+                "unfiltered intermediate requires a connected outer side "
+                f"(subset {subset:#x}, alias {alias!r})"
+            )
+        left = self._materialize(state, outer)
+        right = self._singleton_result(state, bit, filtered=False)
+        joined = self._join(
+            state, subset, outer, left, bit, right, count_only=True
+        )
+        state.unfiltered_counts[key] = joined.n_rows
+        return joined.n_rows
+
+    # ------------------------------------------------------------------ #
+    # bulk computation and memory control
+    # ------------------------------------------------------------------ #
+
+    def compute_all(self, query: Query, max_size: int | None = None) -> dict[int, int]:
+        """Exact counts for every connected subset up to ``max_size``.
+
+        Processes subsets in size order and evicts materialisations more
+        than one level below the current size, bounding peak memory to two
+        "generations" of compressed intermediates.
+        """
+        state = self._state(query)
+        from repro.query.subgraphs import connected_subsets
+
+        subsets = connected_subsets(state.graph, max_size=max_size)
+        current_size = 1
+        for subset in subsets:
+            size = popcount(subset)
+            if size > current_size:
+                self._evict(state, keep_min_size=size - 1)
+                current_size = size
+            self._count(state, subset)
+        return dict(state.counts)
+
+    def _evict(self, state: _QueryState, keep_min_size: int) -> None:
+        stale = [
+            s
+            for s in state.results
+            if 1 < popcount(s) < keep_min_size
+        ]
+        for s in stale:
+            del state.results[s]
+
+    def release(self, query: Query) -> None:
+        """Drop all materialisations for ``query`` (counts are kept)."""
+        state = self._states.get(id(query))
+        if state is not None:
+            state.results.clear()

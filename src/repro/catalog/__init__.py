@@ -1,0 +1,26 @@
+"""Storage and catalog substrate: columns, tables, schemas, indexes, statistics.
+
+This package plays the role of the storage layer of the database system the
+paper runs on (PostgreSQL in the original study).  Tables are column-oriented
+and numpy-backed; string columns are dictionary-encoded so that predicate
+evaluation stays vectorised.
+"""
+
+from repro.catalog.column import Column
+from repro.catalog.index import HashIndex, Index, SortedIndex
+from repro.catalog.schema import Database, ForeignKey
+from repro.catalog.statistics import ColumnStatistics, TableStatistics, analyze_table
+from repro.catalog.table import Table
+
+__all__ = [
+    "Column",
+    "Table",
+    "Database",
+    "ForeignKey",
+    "Index",
+    "HashIndex",
+    "SortedIndex",
+    "ColumnStatistics",
+    "TableStatistics",
+    "analyze_table",
+]

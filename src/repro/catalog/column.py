@@ -1,0 +1,163 @@
+"""Numpy-backed, optionally dictionary-encoded columns.
+
+Two physical representations are supported:
+
+* ``int`` columns: an ``int64`` array.  NULL is represented by the sentinel
+  :data:`NULL_INT` plus an explicit null mask.
+* ``str`` columns: dictionary encoding — an ``int32`` array of *codes*
+  indexing into a sorted ``dictionary`` of unique strings.  Code ``-1``
+  means NULL.  Dictionary encoding keeps string predicates vectorised: an
+  equality test is a code comparison; a LIKE test is evaluated once per
+  *distinct* value on the (small) dictionary and then broadcast through the
+  codes.
+
+The sorted dictionary additionally gives range predicates on strings the
+same ``searchsorted`` treatment as integers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError
+
+NULL_INT = np.iinfo(np.int64).min
+"""Sentinel stored in int columns at NULL positions."""
+
+
+class Column:
+    """A single named column of a :class:`~repro.catalog.table.Table`.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    values:
+        For ``kind='int'``: any integer sequence (NULLs via ``nulls`` mask).
+        For ``kind='str'``: either a sequence of Python strings (``None``
+        for NULL), or pre-encoded codes when ``dictionary`` is given.
+    kind:
+        ``'int'`` or ``'str'``.
+    dictionary:
+        Optional pre-built sorted dictionary for string columns; when given,
+        ``values`` must already be codes into it.
+    """
+
+    __slots__ = ("name", "kind", "values", "dictionary", "_null_mask")
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence | np.ndarray,
+        kind: str = "int",
+        dictionary: np.ndarray | None = None,
+        nulls: np.ndarray | None = None,
+    ) -> None:
+        if kind not in ("int", "str"):
+            raise CatalogError(f"unknown column kind {kind!r} for column {name!r}")
+        self.name = name
+        self.kind = kind
+        if kind == "int":
+            arr = np.asarray(values, dtype=np.int64)
+            if nulls is not None:
+                arr = arr.copy()
+                arr[np.asarray(nulls, dtype=bool)] = NULL_INT
+            self.values = arr
+            self.dictionary = None
+        else:
+            if dictionary is not None:
+                self.dictionary = np.asarray(dictionary, dtype=object)
+                self.values = np.asarray(values, dtype=np.int32)
+                if self.values.size and self.values.max(initial=-1) >= len(self.dictionary):
+                    raise CatalogError(
+                        f"column {name!r}: code out of range of dictionary"
+                    )
+            else:
+                self.dictionary, self.values = _encode_strings(values)
+        self._null_mask = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def null_mask(self) -> np.ndarray:
+        """Boolean mask, True at NULL positions (lazily computed, cached)."""
+        if self._null_mask is None:
+            if self.kind == "int":
+                self._null_mask = self.values == NULL_INT
+            else:
+                self._null_mask = self.values < 0
+        return self._null_mask
+
+    @property
+    def null_fraction(self) -> float:
+        n = len(self)
+        return float(self.null_mask.sum()) / n if n else 0.0
+
+    # ------------------------------------------------------------------ #
+    # value access
+    # ------------------------------------------------------------------ #
+
+    def decoded(self, row_ids: np.ndarray | None = None) -> np.ndarray:
+        """Logical values (strings decoded, NULLs as None / NULL_INT)."""
+        codes = self.values if row_ids is None else self.values[row_ids]
+        if self.kind == "int":
+            return codes
+        out = np.empty(len(codes), dtype=object)
+        valid = codes >= 0
+        out[valid] = self.dictionary[codes[valid]]
+        out[~valid] = None
+        return out
+
+    def code_for(self, value: str) -> int:
+        """Dictionary code of ``value``, or -1 if absent (string columns)."""
+        if self.kind != "str":
+            raise CatalogError(f"code_for on non-string column {self.name!r}")
+        pos = int(np.searchsorted(self.dictionary, value))
+        if pos < len(self.dictionary) and self.dictionary[pos] == value:
+            return pos
+        return -1
+
+    def distinct_count(self) -> int:
+        """Exact number of distinct non-NULL values."""
+        if self.kind == "str":
+            present = np.unique(self.values[self.values >= 0])
+            return int(present.size)
+        vals = self.values[self.values != NULL_INT]
+        return int(np.unique(vals).size)
+
+    def take(self, row_ids: np.ndarray) -> Column:
+        """A new column restricted to ``row_ids`` (used for sampling)."""
+        if self.kind == "int":
+            return Column(self.name, self.values[row_ids], kind="int")
+        return Column(
+            self.name, self.values[row_ids], kind="str", dictionary=self.dictionary
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.name!r}, kind={self.kind!r}, n={len(self)})"
+
+
+def _encode_strings(values: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode a sequence of strings (None -> NULL code -1).
+
+    Encoding happens at the Python level: numpy's fixed-width unicode
+    dtype silently strips trailing ``\\x00`` characters, which would break
+    round-tripping of arbitrary strings.
+    """
+    uniques = sorted({v for v in values if v is not None})
+    dictionary = np.empty(len(uniques), dtype=object)
+    dictionary[:] = uniques
+    code_of = {v: i for i, v in enumerate(uniques)}
+    codes = np.fromiter(
+        (code_of[v] if v is not None else -1 for v in values),
+        dtype=np.int32,
+        count=len(values),
+    )
+    return dictionary, codes

@@ -1,0 +1,123 @@
+"""Secondary indexes: hash (equality) and sorted (B+Tree-equivalent).
+
+The paper's experiments hinge on the *availability* of index access paths
+(primary-key only versus primary+foreign-key, Sections 4.2–4.3) rather than
+on B+Tree mechanics, so the sorted index is implemented as a sorted
+permutation plus binary search — the same asymptotics (O(log n) lookup,
+clustered result runs) as an in-memory B+Tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.column import NULL_INT
+from repro.catalog.table import Table
+from repro.errors import CatalogError
+
+
+class Index:
+    """Base class: an index over one integer-keyed column of a table."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        col = table.column(column)
+        if col.kind != "int":
+            raise CatalogError(
+                f"indexes are only supported on int columns, not {table.name}.{column}"
+            )
+        self.table_name = table.name
+        self.column_name = column
+        self.n_keys = len(col)
+
+    def lookup(self, key: int) -> np.ndarray:
+        """Row ids whose column equals ``key`` (possibly empty)."""
+        raise NotImplementedError
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched lookup.
+
+        Returns ``(probe_positions, row_ids)`` where ``row_ids[i]`` matches
+        the probe key at position ``probe_positions[i]``; a probe key with
+        ``k`` matches contributes ``k`` adjacent entries.
+        """
+        raise NotImplementedError
+
+
+class SortedIndex(Index):
+    """Sorted-permutation index (the B+Tree stand-in).
+
+    Stores ``order`` (row ids sorted by key) and the corresponding sorted
+    key array; lookups binary-search the key array and slice the run.
+    """
+
+    def __init__(self, table: Table, column: str) -> None:
+        super().__init__(table, column)
+        keys = table.column(column).values
+        self.order = np.argsort(keys, kind="stable").astype(np.int64)
+        self.sorted_keys = keys[self.order]
+
+    def lookup(self, key: int) -> np.ndarray:
+        lo = int(np.searchsorted(self.sorted_keys, key, side="left"))
+        hi = int(np.searchsorted(self.sorted_keys, key, side="right"))
+        return self.order[lo:hi]
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.asarray(keys, dtype=np.int64)
+        lo = np.searchsorted(self.sorted_keys, keys, side="left")
+        hi = np.searchsorted(self.sorted_keys, keys, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        probe_positions = np.repeat(
+            np.arange(len(keys), dtype=np.int64), counts
+        )
+        # offsets within each run: 0..count-1 per probe, then add run start
+        starts = np.repeat(lo, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        row_ids = self.order[starts + within]
+        return probe_positions, row_ids
+
+
+class HashIndex(Index):
+    """Hash index: key -> row-id array.
+
+    Used for pure equality lookups; NULL keys are not indexed (consistent
+    with SQL semantics where ``x = NULL`` never matches).
+    """
+
+    def __init__(self, table: Table, column: str) -> None:
+        super().__init__(table, column)
+        keys = table.column(column).values
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+        groups = np.split(order, boundaries)
+        self._buckets: dict[int, np.ndarray] = {}
+        for group in groups:
+            key = int(keys[group[0]])
+            if key == NULL_INT:
+                continue
+            self._buckets[key] = group.astype(np.int64)
+
+    def lookup(self, key: int) -> np.ndarray:
+        return self._buckets.get(int(key), np.empty(0, dtype=np.int64))
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        probe_positions = []
+        row_ids = []
+        for pos, key in enumerate(np.asarray(keys, dtype=np.int64)):
+            matches = self._buckets.get(int(key))
+            if matches is not None:
+                probe_positions.append(
+                    np.full(len(matches), pos, dtype=np.int64)
+                )
+                row_ids.append(matches)
+        if not row_ids:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(probe_positions), np.concatenate(row_ids)

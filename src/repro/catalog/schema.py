@@ -1,0 +1,83 @@
+"""Database: a named set of tables plus referential (PK/FK) metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.table import Table
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key relationship ``table.column -> ref_table.ref_column``.
+
+    These drive two things: which join edges are PK–FK (1:n) versus FK–FK
+    (n:m) in the workload's join graphs, and which columns receive indexes
+    in the ``PK_FK`` physical design configuration (Section 4.3).
+    """
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+class Database:
+    """A collection of tables with key metadata and (post-ANALYZE) statistics.
+
+    The ``statistics`` attribute is populated by
+    :func:`repro.catalog.statistics.analyze_database`, mirroring how the
+    paper runs each system's statistics-gathering command before extracting
+    estimates (Section 2.4).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self.foreign_keys: list[ForeignKey] = []
+        self.statistics: dict[str, "TableStatistics"] = {}  # noqa: F821
+
+    # ------------------------------------------------------------------ #
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self.tables:
+            raise CatalogError(f"duplicate table {table.name!r}")
+        self.tables[table.name] = table
+        return table
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        src = self.table(fk.table)
+        dst = self.table(fk.ref_table)
+        if fk.column not in src:
+            raise CatalogError(f"FK column {fk.table}.{fk.column} does not exist")
+        if fk.ref_column not in dst:
+            raise CatalogError(
+                f"FK target {fk.ref_table}.{fk.ref_column} does not exist"
+            )
+        self.foreign_keys.append(fk)
+        return fk
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no such table {name!r}") from None
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.table == table]
+
+    def is_primary_key(self, table: str, column: str) -> bool:
+        return self.table(table).primary_key == column
+
+    def is_foreign_key(self, table: str, column: str) -> bool:
+        return any(
+            fk.table == table and fk.column == column for fk in self.foreign_keys
+        )
+
+    @property
+    def total_rows(self) -> int:
+        return sum(t.n_rows for t in self.tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={len(self.tables)}, rows={self.total_rows})"

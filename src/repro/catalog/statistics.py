@@ -1,0 +1,266 @@
+"""ANALYZE-style per-column statistics computed from a bounded sample.
+
+This mirrors what the paper describes for PostgreSQL (Section 2.3): per
+attribute the system keeps
+
+* most-common values (MCVs) with their frequencies,
+* an equi-depth histogram (quantile statistics) over the remaining values,
+* a distinct-value count *estimated from the sample* (the source of the
+  misestimates examined in Figure 5), and
+* the null fraction.
+
+All statistics are computed on the column's *physical* integer domain: int
+columns directly, string columns through their sorted dictionary codes.
+Because the dictionary is sorted, code-space order equals string order, so
+histograms remain meaningful for range predicates on strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.column import NULL_INT, Column
+from repro.catalog.schema import Database
+from repro.catalog.table import Table
+
+DEFAULT_SAMPLE_SIZE = 1200
+DEFAULT_MCV_COUNT = 20
+DEFAULT_HISTOGRAM_BUCKETS = 50
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics of one column, from a sample.
+
+    Attributes
+    ----------
+    null_frac:
+        Fraction of NULL values (from the sample).
+    n_distinct:
+        *Estimated* distinct count, scaled up from the sample with a
+        Duj1-style estimator (PostgreSQL uses a close variant).
+    true_distinct:
+        Exact distinct count over the full column.  Kept so the Figure 5
+        experiment can swap estimated for true distinct counts.
+    mcv_values / mcv_freqs:
+        Most-common values (physical domain) and their frequencies as
+        fractions of all rows.
+    histogram_bounds:
+        Equi-depth histogram bucket boundaries over non-MCV, non-NULL
+        values; ``len(bounds) == buckets + 1`` (possibly fewer when the
+        sample is small).
+    histogram_frac:
+        Total fraction of rows covered by the histogram (non-NULL,
+        non-MCV).
+    min_value / max_value:
+        Observed extremes in the sample.
+    """
+
+    null_frac: float
+    n_distinct: float
+    true_distinct: int
+    mcv_values: np.ndarray
+    mcv_freqs: np.ndarray
+    histogram_bounds: np.ndarray
+    histogram_frac: float
+    min_value: int
+    max_value: int
+    sample_values: np.ndarray = field(repr=False)
+
+    # -------------------------------------------------------------- #
+    # selectivity primitives (used by the PostgreSQL-style estimator)
+    # -------------------------------------------------------------- #
+
+    def eq_selectivity(self, value: int) -> float:
+        """Selectivity of ``col = value`` under MCV + uniformity."""
+        if len(self.mcv_values):
+            hit = np.nonzero(self.mcv_values == value)[0]
+            if hit.size:
+                return float(self.mcv_freqs[hit[0]])
+        remaining_distinct = max(self.n_distinct - len(self.mcv_values), 1.0)
+        remaining_frac = max(
+            1.0 - float(self.mcv_freqs.sum()) - self.null_frac, 0.0
+        )
+        return remaining_frac / remaining_distinct
+
+    def range_selectivity(self, lo: float | None, hi: float | None) -> float:
+        """Selectivity of ``lo <= col <= hi`` via MCVs + histogram.
+
+        ``None`` bounds are open.  Histogram buckets are interpolated
+        linearly (PostgreSQL does the same inside a bucket).
+        """
+        lo_v = -np.inf if lo is None else float(lo)
+        hi_v = np.inf if hi is None else float(hi)
+        if hi_v < lo_v:
+            return 0.0
+        sel = 0.0
+        if len(self.mcv_values):
+            inside = (self.mcv_values >= lo_v) & (self.mcv_values <= hi_v)
+            sel += float(self.mcv_freqs[inside].sum())
+        sel += self.histogram_frac * self._histogram_range_frac(lo_v, hi_v)
+        return min(max(sel, 0.0), 1.0)
+
+    def _histogram_range_frac(self, lo: float, hi: float) -> float:
+        bounds = self.histogram_bounds
+        if len(bounds) < 2:
+            return 0.0
+        n_buckets = len(bounds) - 1
+        frac = 0.0
+        for b in range(n_buckets):
+            b_lo, b_hi = float(bounds[b]), float(bounds[b + 1])
+            if b_hi < lo or b_lo > hi:
+                continue
+            width = max(b_hi - b_lo, 1e-12)
+            covered_lo = max(b_lo, lo)
+            covered_hi = min(b_hi, hi)
+            frac += max(covered_hi - covered_lo, 0.0) / width / n_buckets
+            # a point predicate falling inside a bucket still covers ~1 value
+            if covered_hi == covered_lo and b_lo <= lo <= b_hi:
+                frac += 1.0 / n_buckets / max(width, 1.0)
+        return min(frac, 1.0)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for all columns of one table plus its row count."""
+
+    table_name: str
+    n_rows: int
+    columns: dict[str, ColumnStatistics]
+    sample_row_ids: np.ndarray = field(repr=False)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns[name]
+
+
+def _physical_values(col: Column) -> np.ndarray:
+    """Non-NULL physical (code-space) values of a column as int64."""
+    if col.kind == "int":
+        return col.values[col.values != NULL_INT]
+    return col.values[col.values >= 0].astype(np.int64)
+
+
+def _duj1_distinct(sample: np.ndarray, n_rows: int) -> float:
+    """Duj1 distinct-count estimator (the PostgreSQL-style scale-up).
+
+    ``d_hat = n * d / (n - f1 + f1 * n / N)`` where ``d`` is the number of
+    distinct values in the sample, ``f1`` the number of sample values seen
+    exactly once, ``n`` the sample size and ``N`` the table size.  Known to
+    *underestimate* for skewed columns — exactly the behaviour Section 3.4
+    investigates.
+    """
+    n = len(sample)
+    if n == 0:
+        return 0.0
+    values, counts = np.unique(sample, return_counts=True)
+    d = len(values)
+    f1 = int((counts == 1).sum())
+    if n >= n_rows or f1 == 0:
+        return float(d)
+    denom = n - f1 + f1 * n / max(n_rows, 1)
+    est = n * d / max(denom, 1e-9)
+    return float(min(max(est, d), n_rows))
+
+
+def analyze_column(
+    col: Column,
+    sample_ids: np.ndarray,
+    n_rows: int,
+    mcv_count: int = DEFAULT_MCV_COUNT,
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+) -> ColumnStatistics:
+    """Compute :class:`ColumnStatistics` for one column from sampled rows."""
+    sampled = col.values[sample_ids]
+    if col.kind == "str":
+        null_mask = sampled < 0
+        sampled = sampled.astype(np.int64)
+    else:
+        null_mask = sampled == NULL_INT
+    null_frac = float(null_mask.mean()) if len(sampled) else 0.0
+    non_null = sampled[~null_mask]
+
+    full_phys = _physical_values(col)
+    true_distinct = int(np.unique(full_phys).size) if len(full_phys) else 0
+    n_distinct = _duj1_distinct(non_null, n_rows)
+
+    if len(non_null) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return ColumnStatistics(
+            null_frac=null_frac,
+            n_distinct=0.0,
+            true_distinct=true_distinct,
+            mcv_values=empty,
+            mcv_freqs=np.empty(0, dtype=float),
+            histogram_bounds=empty,
+            histogram_frac=0.0,
+            min_value=0,
+            max_value=0,
+            sample_values=non_null,
+        )
+
+    values, counts = np.unique(non_null, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    # MCVs: only values that occur more than once in the sample qualify
+    top = [i for i in order[:mcv_count] if counts[i] > 1]
+    mcv_values = values[top]
+    mcv_freqs = counts[top] / len(sampled)
+
+    in_mcv = np.isin(non_null, mcv_values)
+    rest = np.sort(non_null[~in_mcv])
+    histogram_frac = len(rest) / len(sampled)
+    if len(rest) >= 2:
+        n_buckets = min(histogram_buckets, max(1, len(rest) - 1))
+        pct = np.linspace(0, 100, n_buckets + 1)
+        histogram_bounds = np.percentile(rest, pct).astype(np.int64)
+    else:
+        histogram_bounds = rest.astype(np.int64)
+
+    return ColumnStatistics(
+        null_frac=null_frac,
+        n_distinct=n_distinct,
+        true_distinct=true_distinct,
+        mcv_values=mcv_values.astype(np.int64),
+        mcv_freqs=mcv_freqs.astype(float),
+        histogram_bounds=histogram_bounds,
+        histogram_frac=float(histogram_frac),
+        min_value=int(non_null.min()),
+        max_value=int(non_null.max()),
+        sample_values=non_null,
+    )
+
+
+def analyze_table(
+    table: Table,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+    mcv_count: int = DEFAULT_MCV_COUNT,
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+) -> TableStatistics:
+    """Run ANALYZE on one table: sample it and summarise every column."""
+    sample_ids = table.sample_row_ids(sample_size, seed=seed)
+    columns = {
+        name: analyze_column(
+            col, sample_ids, table.n_rows, mcv_count, histogram_buckets
+        )
+        for name, col in table.columns.items()
+    }
+    return TableStatistics(
+        table_name=table.name,
+        n_rows=table.n_rows,
+        columns=columns,
+        sample_row_ids=sample_ids,
+    )
+
+
+def analyze_database(
+    db: Database,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> None:
+    """Run ANALYZE on every table; results land in ``db.statistics``."""
+    db.statistics = {
+        name: analyze_table(table, sample_size=sample_size, seed=seed)
+        for name, table in db.tables.items()
+    }

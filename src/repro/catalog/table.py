@@ -1,0 +1,106 @@
+"""Tables: named collections of equal-length columns plus key metadata."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.catalog.column import Column
+from repro.errors import CatalogError
+
+#: Assumed bytes per value when converting row counts into page counts for
+#: the disk-oriented cost model (PostgreSQL pages are 8 kB).
+BYTES_PER_VALUE = 16
+PAGE_SIZE = 8192
+
+
+class Table:
+    """A named, column-oriented table.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within the database.
+    columns:
+        The table's columns; all must have identical length.
+    primary_key:
+        Name of the primary-key column (by convention ``id``), or ``None``
+        for pure association tables without a surrogate key.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: str | None = None,
+    ) -> None:
+        self.name = name
+        self.columns: dict[str, Column] = {}
+        n_rows = None
+        for col in columns:
+            if col.name in self.columns:
+                raise CatalogError(f"duplicate column {col.name!r} in table {name!r}")
+            if n_rows is None:
+                n_rows = len(col)
+            elif len(col) != n_rows:
+                raise CatalogError(
+                    f"column {col.name!r} has {len(col)} rows, expected {n_rows}"
+                )
+            self.columns[col.name] = col
+        self.n_rows = n_rows or 0
+        if primary_key is not None and primary_key not in self.columns:
+            raise CatalogError(
+                f"primary key {primary_key!r} is not a column of table {name!r}"
+            )
+        self.primary_key = primary_key
+
+    # ------------------------------------------------------------------ #
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    @property
+    def n_pages(self) -> int:
+        """Page count for the disk cost model (>= 1 for non-empty tables)."""
+        row_width = max(1, len(self.columns)) * BYTES_PER_VALUE
+        return max(1, (self.n_rows * row_width + PAGE_SIZE - 1) // PAGE_SIZE)
+
+    def sample_row_ids(self, n: int, seed: int = 0) -> np.ndarray:
+        """Deterministic uniform sample of row ids (without replacement).
+
+        This models the bounded-size sample that ``ANALYZE``-style statistics
+        gathering and sampling-based estimators (HyPer's 1000-row samples)
+        work from.
+        """
+        if self.n_rows == 0:
+            return np.empty(0, dtype=np.int64)
+        rng = np.random.default_rng(seed ^ _stable_hash(self.name))
+        n = min(n, self.n_rows)
+        return np.sort(rng.choice(self.n_rows, size=n, replace=False).astype(np.int64))
+
+    def sample(self, n: int, seed: int = 0) -> "Table":
+        """A sampled sub-table (same schema, ``n`` rows, deterministic)."""
+        ids = self.sample_row_ids(n, seed)
+        return Table(
+            self.name,
+            [col.take(ids) for col in self.columns.values()],
+            primary_key=self.primary_key,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.n_rows}, cols={list(self.columns)})"
+
+
+def _stable_hash(text: str) -> int:
+    """A deterministic 63-bit hash (Python's ``hash`` is salted per-process)."""
+    h = 1469598103934665603
+    for byte in text.encode():
+        h = ((h ^ byte) * 1099511628211) & 0x7FFFFFFFFFFFFFFF
+    return h

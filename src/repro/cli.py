@@ -1,0 +1,192 @@
+"""Command-line interface: regenerate any experiment, inspect queries.
+
+Examples::
+
+    python -m repro list
+    python -m repro sql 13d
+    python -m repro explain 13d --scale small
+    python -m repro run table1 --scale small
+    python -m repro run fig6 --queries 1a,6a,13d --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments import ExperimentSuite
+
+
+def _suite(args: argparse.Namespace) -> ExperimentSuite:
+    names = args.queries.split(",") if args.queries else None
+    return ExperimentSuite(scale=args.scale, seed=args.seed, query_names=names)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads import job_queries
+
+    print(f"{'query':8s} {'relations':>9s} {'joins':>6s} {'selections':>11s}")
+    for q in job_queries():
+        print(
+            f"{q.name:8s} {q.n_relations:9d} {len(q.joins):6d} "
+            f"{len(q.selections):11d}"
+        )
+    print(f"\n{len(job_queries())} queries total")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.query.sqlgen import query_to_sql
+    from repro.workloads import job_query
+
+    print(query_to_sql(job_query(args.query)))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.cost import SimpleCostModel
+    from repro.enumeration import DPEnumerator
+    from repro.physical import IndexConfig
+    from repro.plans.explain import explain
+    from repro.workloads import job_query
+
+    suite = _suite(args)
+    query = job_query(args.query)
+    design = suite.design(IndexConfig[args.indexes])
+    dp = DPEnumerator(SimpleCostModel(suite.db), design, allow_nlj=False)
+    est = suite.estimators["PostgreSQL"].bind(query)
+    plan, cost = dp.optimize(suite.context(query), est)
+    truth = suite.truth.bind(query)
+    print(f"-- {query.name}: optimized with PostgreSQL-style estimates "
+          f"(cost {cost:.1f})")
+    print(explain(plan, query, est, true_card=truth,
+                  cost_model=SimpleCostModel(suite.db)))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.workloads import job_queries
+    from repro.workloads.analysis import profile_workload
+
+    print(profile_workload(job_queries()).render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.workloads.export import export_job_sql
+
+    paths = export_job_sql(args.directory)
+    print(f"wrote {len(paths)} queries to {args.directory}")
+    return 0
+
+
+_EXPERIMENTS: dict[str, Callable] = {}
+
+
+def _register_experiments() -> None:
+    from repro.experiments import (
+        ablation, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+        table1, table2, table3,
+    )
+
+    _EXPERIMENTS.update(
+        {
+            "table1": lambda s: table1.run(s),
+            "fig3": lambda s: fig3.run(s, max_subexpr_size=6),
+            "fig4": lambda s: fig4.run(s),
+            "fig5": lambda s: fig5.run(s, max_subexpr_size=6),
+            "section4.1": lambda s: fig6.run_injection(s),
+            "fig6": lambda s: fig6.run_engine_ablation(s),
+            "fig7": lambda s: fig7.run(s),
+            "fig8": lambda s: fig8.run(s),
+            "fig9": lambda s: fig9.run(s),
+            "table2": lambda s: table2.run(s),
+            "table3": lambda s: table3.run(s),
+            "ablation.cmm": lambda s: ablation.cmm_parameter_sweep(s),
+            "ablation.quickpick": lambda s: ablation.quickpick_sample_sweep(s),
+            "ablation.error": lambda s: ablation.error_scaling(s),
+            "ablation.hedging": lambda s: ablation.hedging(s),
+            "ablation.join-sampling": (
+                lambda s: ablation.join_sampling_comparison(s)
+            ),
+        }
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _register_experiments()
+    if args.experiment == "all":
+        names = list(_EXPERIMENTS)
+    elif args.experiment in _EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from: {', '.join(_EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    suite = _suite(args)
+    for name in names:
+        result = _EXPERIMENTS[name](suite)
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'How Good Are Query Optimizers, Really?' "
+            "(Leis et al., VLDB 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the 113 JOB queries")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_sql = sub.add_parser("sql", help="print a query as SQL")
+    p_sql.add_argument("query", help="query name, e.g. 13d")
+    p_sql.set_defaults(func=_cmd_sql)
+
+    p_explain = sub.add_parser("explain", help="optimize and explain a query")
+    p_explain.add_argument("query")
+    p_explain.add_argument("--scale", default="tiny",
+                           choices=["tiny", "small", "medium"])
+    p_explain.add_argument("--seed", type=int, default=42)
+    p_explain.add_argument("--queries", default=None, help=argparse.SUPPRESS)
+    p_explain.add_argument("--indexes", default="PK_FK",
+                           choices=["NONE", "PK", "PK_FK"])
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_profile = sub.add_parser(
+        "profile", help="print the workload's structural profile (§2.2)"
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_export = sub.add_parser(
+        "export-sql", help="write all 113 JOB queries as .sql files"
+    )
+    p_export.add_argument("directory")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_run = sub.add_parser("run", help="run an experiment and print its table")
+    p_run.add_argument("experiment",
+                       help="table1|fig3|...|table3|ablation.*|all")
+    p_run.add_argument("--scale", default="tiny",
+                       choices=["tiny", "small", "medium"])
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument(
+        "--queries", default=None,
+        help="comma-separated JOB query names (default: all 113)",
+    )
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,22 @@
+"""Cost models (Section 5).
+
+* :class:`PostgresCostModel` — disk-oriented weighted sum of page and CPU
+  costs (Section 5.1).
+* :class:`TunedPostgresCostModel` — the main-memory tuning of Section 5.3
+  (CPU cost parameters multiplied by 50).
+* :class:`SimpleCostModel` — the paper's C_mm (Section 5.4): counts only
+  the tuples flowing through each operator, with τ discounting scans and
+  λ penalising index lookups.
+"""
+
+from repro.cost.base import CostModel, plan_cost
+from repro.cost.postgres_cost import PostgresCostModel, TunedPostgresCostModel
+from repro.cost.simple_cost import SimpleCostModel
+
+__all__ = [
+    "CostModel",
+    "plan_cost",
+    "PostgresCostModel",
+    "TunedPostgresCostModel",
+    "SimpleCostModel",
+]

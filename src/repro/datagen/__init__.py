@@ -1,0 +1,13 @@
+"""Synthetic data generators.
+
+* :mod:`repro.datagen.imdb` — a correlation-rich, skewed stand-in for the
+  IMDB snapshot the paper uses (21 tables, same schema).
+* :mod:`repro.datagen.tpch` — a deliberately uniform/independent TPC-H
+  subset, used to show how easy synthetic benchmarks are for estimators
+  (Figure 4).
+"""
+
+from repro.datagen.imdb import IMDB_SCALES, generate_imdb
+from repro.datagen.tpch import generate_tpch
+
+__all__ = ["generate_imdb", "generate_tpch", "IMDB_SCALES"]

@@ -1,0 +1,77 @@
+"""Random-distribution helpers for the synthetic data generators.
+
+Real-world data sets are "full of correlations and non-uniform data
+distributions" (Section 2.1); these helpers provide the two ingredients:
+Zipfian skew and conditional (correlated) sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n: int, a: float) -> np.ndarray:
+    """Normalised Zipf weights ``w_k ∝ 1 / k^a`` for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("zipf_weights requires n >= 1")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-a)
+    return w / w.sum()
+
+
+def sample_zipf(
+    rng: np.random.Generator, n_values: int, size: int, a: float = 1.1
+) -> np.ndarray:
+    """``size`` draws from ``{0..n_values-1}`` with Zipfian rank skew."""
+    return rng.choice(n_values, size=size, p=zipf_weights(n_values, a)).astype(
+        np.int64
+    )
+
+
+def correlated_choice(
+    rng: np.random.Generator,
+    preferred: np.ndarray,
+    n_values: int,
+    correlation: float,
+    background_a: float = 1.0,
+) -> np.ndarray:
+    """Draws that equal ``preferred`` with probability ``correlation``.
+
+    With probability ``1 - correlation`` a value is drawn from a Zipfian
+    background distribution instead.  This is the workhorse for
+    *join-crossing* correlations: e.g. a movie company's country equals the
+    movie's latent country most of the time, violating the independence
+    assumption across the ``movie_companies`` join.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be within [0, 1]")
+    size = len(preferred)
+    background = sample_zipf(rng, n_values, size, a=background_a)
+    keep = rng.random(size) < correlation
+    return np.where(keep, preferred, background).astype(np.int64)
+
+
+def heavy_tail_counts(
+    rng: np.random.Generator,
+    popularity: np.ndarray,
+    mean: float,
+    cap: int,
+) -> np.ndarray:
+    """Per-entity child counts proportional to a popularity weight.
+
+    ``popularity`` is any positive per-entity weight (e.g. a Pareto draw);
+    counts are Poisson around ``mean * popularity / avg(popularity)`` and
+    capped.  Entities that are popular get many children in *every* child
+    table, which creates the correlated fan-outs that make independence-
+    based join estimates systematically too low.
+    """
+    weights = popularity / popularity.mean()
+    lam = np.clip(mean * weights, 0.05, cap)
+    return np.minimum(rng.poisson(lam), cap).astype(np.int64)
+
+
+def pareto_popularity(
+    rng: np.random.Generator, size: int, alpha: float = 1.3
+) -> np.ndarray:
+    """Heavy-tailed positive popularity weights (Pareto, min 1)."""
+    return 1.0 + rng.pareto(alpha, size=size)

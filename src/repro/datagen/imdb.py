@@ -1,0 +1,908 @@
+"""Synthetic IMDB: a correlation-rich stand-in for the paper's data set.
+
+The original study uses a May-2013 IMDB snapshot (21 tables, 3.6 GB CSV).
+That snapshot is not redistributable here, so this module generates a
+database with the *same schema* and — crucially — the same three properties
+that make IMDB hard for cardinality estimation (Section 2.1):
+
+1. **Skew**: Zipfian company/keyword/person popularity, ramped production
+   years, heavy-tailed cast sizes.
+2. **Intra-table correlations**: e.g. ``role_type`` 'actress' implies
+   ``name.gender = 'f'``; episode numbers only occur for kind 'episode'.
+3. **Join-crossing correlations**: every title carries latent *popularity*,
+   *country* and *quality* variables that simultaneously drive its fan-out
+   into ``cast_info``, ``movie_info``, ``movie_keyword`` and
+   ``movie_companies``, its companies' countries, and its rating/votes.
+   Independence-based estimators cannot see these latents, so multi-join
+   estimates drift low exactly as in Figure 3.
+
+The ``correlation`` knob (default 0.8) scales the join-crossing effects;
+setting it to 0 produces near-independent data — the ablation benchmark
+uses this to show estimation error growth appearing as correlation rises.
+
+Everything is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.column import Column
+from repro.catalog.schema import Database, ForeignKey
+from repro.catalog.statistics import analyze_database
+from repro.catalog.table import Table
+from repro.datagen.distributions import (
+    correlated_choice,
+    heavy_tail_counts,
+    pareto_popularity,
+    sample_zipf,
+)
+
+#: Scale presets: number of entities per core table.  Child-table sizes
+#: follow from per-title fan-out means (popularity-correlated).
+IMDB_SCALES: dict[str, dict[str, int]] = {
+    "tiny": dict(
+        n_titles=700, n_companies=160, n_persons=1200, n_chars=700, n_keywords=260
+    ),
+    "small": dict(
+        n_titles=3000, n_companies=600, n_persons=5000, n_chars=3000, n_keywords=900
+    ),
+    "medium": dict(
+        n_titles=12000,
+        n_companies=2200,
+        n_persons=20000,
+        n_chars=12000,
+        n_keywords=2600,
+    ),
+}
+
+KIND_NAMES = [
+    "movie",
+    "tv series",
+    "tv movie",
+    "video movie",
+    "tv mini series",
+    "video game",
+    "episode",
+]
+
+COMPANY_TYPE_NAMES = [
+    "distributors",
+    "production companies",
+    "special effects companies",
+    "miscellaneous companies",
+]
+
+ROLE_NAMES = [
+    "actor",
+    "actress",
+    "producer",
+    "writer",
+    "director",
+    "cinematographer",
+    "composer",
+    "costume designer",
+    "editor",
+    "miscellaneous crew",
+    "production designer",
+    "guest",
+]
+
+LINK_NAMES = [
+    "follows",
+    "followed by",
+    "remake of",
+    "remade as",
+    "references",
+    "referenced in",
+    "spoofs",
+    "spoofed in",
+    "features",
+    "featured in",
+    "spin off from",
+    "spin off",
+    "version of",
+    "similar to",
+    "edited into",
+    "edited from",
+    "alternate language version of",
+    "unknown link",
+]
+
+COMP_CAST_TYPE_NAMES = ["cast", "crew", "complete", "complete+verified"]
+
+#: info_type ids (1-based) with the roles our workload uses; the remaining
+#: ids up to 113 are filler, matching the real table's cardinality.
+INFO_RATING = 1
+INFO_VOTES = 2
+INFO_GENRES = 3
+INFO_COUNTRIES = 4
+INFO_LANGUAGES = 5
+INFO_RELEASE_DATES = 6
+INFO_BUDGET = 7
+INFO_BOTTOM10 = 8
+INFO_TOP250 = 9
+INFO_BIRTH_NOTES = 10
+INFO_HEIGHT = 11
+INFO_TYPE_SPECIAL = {
+    INFO_RATING: "rating",
+    INFO_VOTES: "votes",
+    INFO_GENRES: "genres",
+    INFO_COUNTRIES: "countries",
+    INFO_LANGUAGES: "languages",
+    INFO_RELEASE_DATES: "release dates",
+    INFO_BUDGET: "budget",
+    INFO_BOTTOM10: "bottom 10 rank",
+    INFO_TOP250: "top 250 rank",
+    INFO_BIRTH_NOTES: "birth notes",
+    INFO_HEIGHT: "height",
+}
+N_INFO_TYPES = 113
+
+COUNTRY_CODES = [
+    "[us]", "[gb]", "[de]", "[fr]", "[it]", "[jp]", "[in]", "[ca]", "[es]",
+    "[au]", "[ru]", "[nl]", "[se]", "[dk]", "[br]", "[mx]", "[cn]", "[kr]",
+    "[pl]", "[at]", "[be]", "[fi]", "[no]", "[ch]", "[cz]", "[hu]", "[pt]",
+    "[gr]", "[ie]", "[ar]", "[tr]", "[il]", "[za]", "[nz]", "[hk]", "[tw]",
+]
+
+COUNTRY_NAMES = [
+    "USA", "UK", "Germany", "France", "Italy", "Japan", "India", "Canada",
+    "Spain", "Australia", "Russia", "Netherlands", "Sweden", "Denmark",
+    "Brazil", "Mexico", "China", "South Korea", "Poland", "Austria",
+    "Belgium", "Finland", "Norway", "Switzerland", "Czech Republic",
+    "Hungary", "Portugal", "Greece", "Ireland", "Argentina", "Turkey",
+    "Israel", "South Africa", "New Zealand", "Hong Kong", "Taiwan",
+]
+
+LANGUAGES = [
+    "English", "German", "French", "Italian", "Japanese", "Hindi",
+    "Spanish", "Russian", "Dutch", "Swedish", "Danish", "Portuguese",
+    "Mandarin", "Korean", "Polish", "Finnish", "Norwegian", "Czech",
+    "Hungarian", "Greek", "Turkish", "Hebrew", "Cantonese",
+]
+
+#: language spoken in each country (index-aligned with COUNTRY_CODES)
+COUNTRY_LANGUAGE = [
+    0, 0, 1, 2, 3, 4, 5, 0, 6, 0, 7, 8, 9, 10, 11, 6, 12, 13, 14, 1,
+    2, 15, 16, 1, 17, 18, 11, 19, 0, 6, 20, 21, 0, 0, 22, 12,
+]
+
+GENRES = [
+    "Drama", "Comedy", "Documentary", "Action", "Thriller", "Romance",
+    "Horror", "Crime", "Adventure", "Family", "Animation", "Sci-Fi",
+    "Fantasy", "Mystery", "Biography", "History", "Music", "War",
+    "Western", "Sport", "Musical", "Film-Noir", "Adult", "News",
+]
+
+COMPANY_BRANDS = [
+    "Warner", "Universal", "Paramount", "Columbia", "Fox", "Metro",
+    "Lionsgate", "Polygram", "Studio", "Global", "Castle", "Silver",
+    "Golden", "Pioneer", "Northern", "Pacific", "Atlantic", "Crown",
+    "Eagle", "Phoenix",
+]
+
+KEYWORD_STEMS = [
+    "character-name-in-title", "based-on-novel", "sequel", "murder",
+    "independent-film", "marvel-comics", "superhero", "love", "death",
+    "revenge", "friendship", "police", "family-relationships", "blood",
+    "violence", "new-york-city", "london-england", "paris-france",
+    "world-war-two", "high-school",
+]
+
+FIRST_NAMES_M = [
+    "James", "John", "Robert", "Michael", "William", "David", "Richard",
+    "Thomas", "Tim", "Daniel", "Paul", "Mark", "George", "Kenneth", "Steven",
+]
+FIRST_NAMES_F = [
+    "Mary", "Patricia", "Linda", "Barbara", "Elizabeth", "Jennifer",
+    "Maria", "Susan", "Margaret", "Dorothy", "Lisa", "Nancy", "Karen",
+    "Helen", "Ann",
+]
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis",
+    "Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson", "Taylor",
+    "Thomas", "Moore", "Jackson", "Martin", "Lee", "Thompson", "White",
+    "Mueller", "Schmidt", "Rossi", "Tanaka", "Suzuki", "Kumar", "Singh",
+    "Dubois", "Moreau", "Kowalski", "Zhang", "Zimmermann",
+]
+
+#: a slice of character names follows superhero naming, so that JOB-style
+#: ``chn.name LIKE '%Man%'`` predicates are satisfiable
+HERO_CHAR_NAMES = [
+    "Superman", "Batman", "Spider-Man", "Iron Man", "Wonder Woman",
+    "Ant-Man", "Aquaman", "Mandrake", "Manfred the Great", "Man in Black",
+]
+
+TITLE_ADJECTIVES = [
+    "Dark", "Last", "Lost", "Golden", "Silent", "Hidden", "Broken",
+    "Eternal", "Savage", "Gentle", "Iron", "Crimson", "Frozen", "Burning",
+    "Forgotten", "Secret", "Wild", "Ancient", "Final", "First",
+]
+TITLE_NOUNS = [
+    "Champion", "Night", "River", "Mountain", "City", "Dream", "Shadow",
+    "Kingdom", "Journey", "Promise", "Garden", "Storm", "Island", "Road",
+    "Empire", "Heart", "Whisper", "Legend", "Return", "Horizon",
+]
+
+
+def _format_ratings(values: np.ndarray) -> list[str]:
+    """Ratings as fixed-format strings ('7.4') whose lexicographic order
+    equals numeric order — exactly like the real JOB predicates rely on."""
+    return [f"{v:.1f}" for v in values]
+
+
+def generate_imdb(
+    scale: str | dict[str, int] = "small",
+    seed: int = 42,
+    correlation: float = 0.8,
+    analyze: bool = True,
+) -> Database:
+    """Generate the 21-table synthetic IMDB database.
+
+    Parameters
+    ----------
+    scale:
+        One of ``"tiny" | "small" | "medium"`` or a dict with the keys of
+        :data:`IMDB_SCALES` entries.
+    seed:
+        RNG seed; identical seeds give bit-identical databases.
+    correlation:
+        Strength (0–1) of the join-crossing correlations.
+    analyze:
+        When True (default), run ANALYZE so estimators are ready to use.
+    """
+    params = IMDB_SCALES[scale] if isinstance(scale, str) else dict(scale)
+    rng = np.random.default_rng(seed)
+    db = Database("imdb")
+
+    n_titles = params["n_titles"]
+    n_companies = params["n_companies"]
+    n_persons = params["n_persons"]
+    n_chars = params["n_chars"]
+    n_keywords = params["n_keywords"]
+
+    # ------------------------------------------------------------------ #
+    # dimension tables
+    # ------------------------------------------------------------------ #
+    _add_enum_table(db, "kind_type", "kind", KIND_NAMES)
+    _add_enum_table(db, "company_type", "kind", COMPANY_TYPE_NAMES)
+    _add_enum_table(db, "role_type", "role", ROLE_NAMES)
+    _add_enum_table(db, "link_type", "link", LINK_NAMES)
+    _add_enum_table(db, "comp_cast_type", "kind", COMP_CAST_TYPE_NAMES)
+
+    info_names = [
+        INFO_TYPE_SPECIAL.get(i, f"info type {i}") for i in range(1, N_INFO_TYPES + 1)
+    ]
+    _add_enum_table(db, "info_type", "info", info_names)
+
+    # ------------------------------------------------------------------ #
+    # latent per-title variables driving the correlations
+    # ------------------------------------------------------------------ #
+    popularity = pareto_popularity(rng, n_titles)
+    # fan-outs into child tables follow popularity only as strongly as the
+    # correlation knob says: at 0 every title gets i.i.d. child counts and
+    # the join-crossing fan-out correlation (the main driver of multi-join
+    # underestimation) disappears.  The exponent is normalised so that the
+    # default knob (0.8) reproduces the plain popularity-driven fan-out.
+    fanout_popularity = popularity ** (correlation / 0.8)
+    # production year ramp towards the snapshot year (2013)
+    year_domain = np.arange(1915, 2014)
+    year_weights = (year_domain - 1914).astype(float) ** 2
+    year_weights /= year_weights.sum()
+    years = rng.choice(year_domain, size=n_titles, p=year_weights).astype(np.int64)
+    # kind correlated with year: episodes and video games are recent
+    kind_ids = sample_zipf(rng, len(KIND_NAMES), n_titles, a=0.9) + 1
+    recent = years >= 1995
+    make_episode = recent & (rng.random(n_titles) < 0.25)
+    kind_ids = np.where(make_episode, 7, kind_ids)
+    old = years < 1960
+    kind_ids = np.where(old & (kind_ids >= 6), 1, kind_ids)
+    # latent country: Zipfian with [us] on top, more skewed for 'movie'
+    title_country = sample_zipf(rng, len(COUNTRY_CODES), n_titles, a=1.4)
+    # latent quality drives rating & votes; popular titles slightly better
+    quality = np.clip(
+        rng.normal(5.8, 1.4, n_titles) + 0.35 * np.log(popularity), 1.0, 9.9
+    )
+
+    # ------------------------------------------------------------------ #
+    # title
+    # ------------------------------------------------------------------ #
+    title_strings = [
+        f"{'The ' if rng.random() < 0.4 else ''}"
+        f"{TITLE_ADJECTIVES[int(a)]} {TITLE_NOUNS[int(b)]}"
+        f"{f' {n}' if (n := int(c)) > 1 else ''}"
+        for a, b, c in zip(
+            rng.integers(0, len(TITLE_ADJECTIVES), n_titles),
+            rng.integers(0, len(TITLE_NOUNS), n_titles),
+            rng.integers(1, 4, n_titles),
+        )
+    ]
+    episode_nr = np.where(
+        kind_ids == 7, rng.integers(1, 25, n_titles), 0
+    ).astype(np.int64)
+    season_nr = np.where(
+        kind_ids == 7, rng.integers(1, 12, n_titles), 0
+    ).astype(np.int64)
+    year_nulls = rng.random(n_titles) < 0.03
+    db.add_table(
+        Table(
+            "title",
+            [
+                Column("id", np.arange(1, n_titles + 1)),
+                Column("title", title_strings, kind="str"),
+                Column("kind_id", kind_ids),
+                Column("production_year", years, nulls=year_nulls),
+                Column("episode_nr", episode_nr),
+                Column("season_nr", season_nr),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("title", "kind_id", "kind_type", "id"))
+
+    # ------------------------------------------------------------------ #
+    # company_name — country skew with [us] dominant
+    # ------------------------------------------------------------------ #
+    company_country = sample_zipf(rng, len(COUNTRY_CODES), n_companies, a=1.3)
+    brand_idx = sample_zipf(rng, len(COMPANY_BRANDS), n_companies, a=1.0)
+    company_names = [
+        f"{COMPANY_BRANDS[int(b)]} "
+        f"{['Pictures', 'Films', 'Entertainment', 'Media', 'Productions'][int(s)]} "
+        f"#{i}"
+        for i, (b, s) in enumerate(
+            zip(brand_idx, rng.integers(0, 5, n_companies)), start=1
+        )
+    ]
+    db.add_table(
+        Table(
+            "company_name",
+            [
+                Column("id", np.arange(1, n_companies + 1)),
+                Column("name", company_names, kind="str"),
+                Column(
+                    "country_code",
+                    [COUNTRY_CODES[int(c)] for c in company_country],
+                    kind="str",
+                ),
+            ],
+            primary_key="id",
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # name (persons), char_name, keyword
+    # ------------------------------------------------------------------ #
+    person_gender_f = rng.random(n_persons) < 0.42
+    gender_null = rng.random(n_persons) < 0.08
+    person_names = [
+        f"{LAST_NAMES[int(ln)]}, "
+        f"{(FIRST_NAMES_F if f else FIRST_NAMES_M)[int(fn)]}"
+        for ln, fn, f in zip(
+            rng.integers(0, len(LAST_NAMES), n_persons),
+            rng.integers(0, len(FIRST_NAMES_M), n_persons),
+            person_gender_f,
+        )
+    ]
+    genders = [
+        None if gn else ("f" if f else "m")
+        for gn, f in zip(gender_null, person_gender_f)
+    ]
+    db.add_table(
+        Table(
+            "name",
+            [
+                Column("id", np.arange(1, n_persons + 1)),
+                Column("name", person_names, kind="str"),
+                Column("gender", genders, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+
+    hero_roll = rng.random(n_chars)
+    char_names = [
+        HERO_CHAR_NAMES[int(h * 1000) % len(HERO_CHAR_NAMES)]
+        if h < 0.06
+        else f"{(FIRST_NAMES_F + FIRST_NAMES_M)[int(fn)]} {LAST_NAMES[int(ln)]}"
+        for h, fn, ln in zip(
+            hero_roll,
+            rng.integers(0, len(FIRST_NAMES_F + FIRST_NAMES_M), n_chars),
+            rng.integers(0, len(LAST_NAMES), n_chars),
+        )
+    ]
+    db.add_table(
+        Table(
+            "char_name",
+            [
+                Column("id", np.arange(1, n_chars + 1)),
+                Column("name", char_names, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+
+    keyword_strings = [
+        KEYWORD_STEMS[i]
+        if i < len(KEYWORD_STEMS)
+        else f"kw-{KEYWORD_STEMS[i % len(KEYWORD_STEMS)]}-{i}"
+        for i in range(n_keywords)
+    ]
+    db.add_table(
+        Table(
+            "keyword",
+            [
+                Column("id", np.arange(1, n_keywords + 1)),
+                Column("keyword", keyword_strings, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # movie_companies — company country follows title country (join-
+    # crossing correlation), fan-out follows popularity
+    # ------------------------------------------------------------------ #
+    mc_counts = heavy_tail_counts(rng, fanout_popularity, mean=2.2, cap=12)
+    mc_movie = np.repeat(np.arange(1, n_titles + 1), mc_counts)
+    n_mc = len(mc_movie)
+    wanted_country = np.repeat(title_country, mc_counts)
+    # pick companies whose country matches the title's latent country
+    companies_by_country: dict[int, np.ndarray] = {
+        c: np.nonzero(company_country == c)[0] + 1
+        for c in range(len(COUNTRY_CODES))
+    }
+    company_pop = pareto_popularity(rng, n_companies)
+    mc_company = np.empty(n_mc, dtype=np.int64)
+    match_mask = rng.random(n_mc) < correlation
+    any_company_w = company_pop / company_pop.sum()
+    random_pick = rng.choice(n_companies, size=n_mc, p=any_company_w) + 1
+    mc_company[:] = random_pick
+    for c, members in companies_by_country.items():
+        if len(members) == 0:
+            continue
+        sel = match_mask & (wanted_country == c)
+        k = int(sel.sum())
+        if k:
+            w = company_pop[members - 1]
+            w = w / w.sum()
+            mc_company[sel] = rng.choice(members, size=k, p=w)
+    mc_type = sample_zipf(rng, len(COMPANY_TYPE_NAMES), n_mc, a=1.2) + 1
+    mc_year = np.repeat(years, mc_counts)
+    mc_country_code = np.repeat(
+        np.asarray([COUNTRY_CODES[int(c)] for c in title_country], dtype=object),
+        mc_counts,
+    )
+    note_roll = rng.random(n_mc)
+
+    def _mc_note(r: float, y: int, cc: str) -> str | None:
+        code = cc[1:-1].upper()
+        if r < 0.35:
+            return None
+        if r < 0.6:
+            return f"({y}) ({code})"
+        if r < 0.72:
+            return f"({y}) (worldwide)"
+        if r < 0.82:
+            return f"({y}) ({code}) (TV)"
+        if r < 0.92:
+            return "(co-production)"
+        return "(as Metro Pictures)"
+
+    mc_notes: list[str | None] = [
+        _mc_note(r, int(y), cc)
+        for r, y, cc in zip(note_roll, mc_year, mc_country_code)
+    ]
+    db.add_table(
+        Table(
+            "movie_companies",
+            [
+                Column("id", np.arange(1, n_mc + 1)),
+                Column("movie_id", mc_movie),
+                Column("company_id", mc_company),
+                Column("company_type_id", mc_type),
+                Column("note", mc_notes, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("movie_companies", "movie_id", "title", "id"))
+    db.add_foreign_key(
+        ForeignKey("movie_companies", "company_id", "company_name", "id")
+    )
+    db.add_foreign_key(
+        ForeignKey("movie_companies", "company_type_id", "company_type", "id")
+    )
+
+    # ------------------------------------------------------------------ #
+    # movie_info — genres/countries/languages/release dates/budget rows
+    # ------------------------------------------------------------------ #
+    mi_movie_parts: list[np.ndarray] = []
+    mi_type_parts: list[np.ndarray] = []
+    mi_info_parts: list[list[str]] = []
+
+    def emit_info(
+        movie_ids: np.ndarray, type_id: int, infos: list[str]
+    ) -> None:
+        mi_movie_parts.append(movie_ids)
+        mi_type_parts.append(np.full(len(movie_ids), type_id, dtype=np.int64))
+        mi_info_parts.append(infos)
+
+    # genres: 1-3 per title; genre correlated with kind & country
+    genre_counts = np.minimum(
+        1 + rng.poisson(0.9 * popularity / popularity.mean(), n_titles), 4
+    )
+    g_movie = np.repeat(np.arange(1, n_titles + 1), genre_counts)
+    g_kind = np.repeat(kind_ids, genre_counts)
+    g_country = np.repeat(title_country, genre_counts)
+    base_genre = sample_zipf(rng, len(GENRES), len(g_movie), a=1.05)
+    # documentaries over-represented for non-movie kinds; dramas for [fr]/[it]
+    base_genre = np.where(
+        (g_kind == 2) & (rng.random(len(g_movie)) < 0.3 * correlation),
+        2,
+        base_genre,
+    )
+    base_genre = np.where(
+        np.isin(g_country, (3, 4)) & (rng.random(len(g_movie)) < 0.4 * correlation),
+        0,
+        base_genre,
+    )
+    emit_info(g_movie, INFO_GENRES, [GENRES[int(g)] for g in base_genre])
+
+    # countries: 1-2 rows; dominated by the latent title country
+    c_counts = 1 + (rng.random(n_titles) < 0.25).astype(np.int64)
+    c_movie = np.repeat(np.arange(1, n_titles + 1), c_counts)
+    c_pref = np.repeat(title_country, c_counts)
+    c_country = correlated_choice(
+        rng, c_pref, len(COUNTRY_CODES), correlation, background_a=1.4
+    )
+    emit_info(
+        c_movie, INFO_COUNTRIES, [COUNTRY_NAMES[int(c)] for c in c_country]
+    )
+
+    # languages: follow the country's language
+    l_pref = np.asarray([COUNTRY_LANGUAGE[int(c)] for c in title_country])
+    l_lang = correlated_choice(rng, l_pref, len(LANGUAGES), correlation)
+    emit_info(
+        np.arange(1, n_titles + 1),
+        INFO_LANGUAGES,
+        [LANGUAGES[int(v)] for v in l_lang],
+    )
+
+    # release dates: 1-4 rows (popular titles released in more countries)
+    r_counts = heavy_tail_counts(rng, fanout_popularity, mean=1.6, cap=6)
+    r_movie = np.repeat(np.arange(1, n_titles + 1), r_counts)
+    r_year = np.repeat(years, r_counts)
+    r_country = correlated_choice(
+        rng,
+        np.repeat(title_country, r_counts),
+        len(COUNTRY_CODES),
+        correlation * 0.7,
+    )
+    r_month = rng.integers(1, 13, len(r_movie))
+    r_day = rng.integers(1, 29, len(r_movie))
+    emit_info(
+        r_movie,
+        INFO_RELEASE_DATES,
+        [
+            f"{COUNTRY_NAMES[int(c)]}:{int(y)}-{int(m):02d}-{int(d):02d}"
+            for c, y, m, d in zip(r_country, r_year, r_month, r_day)
+        ],
+    )
+
+    # budget: mostly for kind 'movie', correlated with popularity
+    has_budget = (kind_ids == 1) & (rng.random(n_titles) < 0.5)
+    b_movie = np.arange(1, n_titles + 1)[has_budget]
+    b_amount = (popularity[has_budget] * 900_000).astype(np.int64) + 50_000
+    emit_info(b_movie, INFO_BUDGET, [f"${int(v):,}" for v in b_amount])
+
+    mi_movie = np.concatenate(mi_movie_parts)
+    mi_type = np.concatenate(mi_type_parts)
+    mi_info: list[str] = [s for part in mi_info_parts for s in part]
+    n_mi = len(mi_movie)
+    mi_note_roll = rng.random(n_mi)
+    mi_notes = [
+        None if r < 0.7 else ("(worldwide)" if r < 0.9 else "(estimated)")
+        for r in mi_note_roll
+    ]
+    order = np.argsort(mi_movie, kind="stable")
+    db.add_table(
+        Table(
+            "movie_info",
+            [
+                Column("id", np.arange(1, n_mi + 1)),
+                Column("movie_id", mi_movie[order]),
+                Column("info_type_id", mi_type[order]),
+                Column("info", [mi_info[i] for i in order], kind="str"),
+                Column("note", [mi_notes[i] for i in order], kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("movie_info", "movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("movie_info", "info_type_id", "info_type", "id"))
+
+    # ------------------------------------------------------------------ #
+    # movie_info_idx — ratings & votes (quality/popularity driven)
+    # ------------------------------------------------------------------ #
+    has_rating = rng.random(n_titles) < 0.85
+    rated_ids = np.arange(1, n_titles + 1)[has_rating]
+    ratings = quality[has_rating] + rng.normal(0, 0.35, len(rated_ids))
+    ratings = np.clip(ratings, 1.0, 9.9)
+    votes = (popularity[has_rating] * 120).astype(np.int64) + rng.integers(
+        5, 50, len(rated_ids)
+    )
+    top250 = rated_ids[
+        np.argsort(ratings)[::-1][: max(2, len(rated_ids) // 60)]
+    ]
+    bottom10 = rated_ids[np.argsort(ratings)[: max(1, len(rated_ids) // 150)]]
+    mii_movie = np.concatenate(
+        [rated_ids, rated_ids, top250, bottom10]
+    )
+    mii_type = np.concatenate(
+        [
+            np.full(len(rated_ids), INFO_RATING, dtype=np.int64),
+            np.full(len(rated_ids), INFO_VOTES, dtype=np.int64),
+            np.full(len(top250), INFO_TOP250, dtype=np.int64),
+            np.full(len(bottom10), INFO_BOTTOM10, dtype=np.int64),
+        ]
+    )
+    mii_info = (
+        _format_ratings(ratings)
+        + [str(int(v)) for v in votes]
+        + [str(i + 1) for i in range(len(top250))]
+        + [str(i + 1) for i in range(len(bottom10))]
+    )
+    n_mii = len(mii_movie)
+    order = np.argsort(mii_movie, kind="stable")
+    db.add_table(
+        Table(
+            "movie_info_idx",
+            [
+                Column("id", np.arange(1, n_mii + 1)),
+                Column("movie_id", mii_movie[order]),
+                Column("info_type_id", mii_type[order]),
+                Column("info", [mii_info[i] for i in order], kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("movie_info_idx", "movie_id", "title", "id"))
+    db.add_foreign_key(
+        ForeignKey("movie_info_idx", "info_type_id", "info_type", "id")
+    )
+
+    # ------------------------------------------------------------------ #
+    # cast_info — the largest table; fan-out popularity-driven
+    # ------------------------------------------------------------------ #
+    ci_counts = heavy_tail_counts(rng, fanout_popularity, mean=6.0, cap=60)
+    ci_movie = np.repeat(np.arange(1, n_titles + 1), ci_counts)
+    n_ci = len(ci_movie)
+    person_pop = pareto_popularity(rng, n_persons)
+    person_w = person_pop / person_pop.sum()
+    ci_person = rng.choice(n_persons, size=n_ci, p=person_w) + 1
+    # role correlated with the person's gender
+    person_is_f = person_gender_f[ci_person - 1]
+    base_role = sample_zipf(rng, len(ROLE_NAMES), n_ci, a=1.1) + 1
+    acting = rng.random(n_ci) < 0.55
+    acted_role = np.where(person_is_f, 2, 1)
+    ci_role = np.where(acting, acted_role, base_role).astype(np.int64)
+    has_char = np.isin(ci_role, (1, 2)) & (rng.random(n_ci) < 0.7)
+    ci_char = np.where(
+        has_char, rng.integers(1, n_chars + 1, n_ci), 0
+    ).astype(np.int64)
+    ci_note_roll = rng.random(n_ci)
+    ci_notes = [
+        None
+        if r < 0.6
+        else (
+            "(voice)"
+            if r < 0.72
+            else (
+                "(uncredited)"
+                if r < 0.8
+                else ("(producer)" if r < 0.9 else "(executive producer)")
+            )
+        )
+        for r in ci_note_roll
+    ]
+    ci_order_vals = np.where(
+        acting, rng.integers(1, 40, n_ci), 0
+    ).astype(np.int64)
+    db.add_table(
+        Table(
+            "cast_info",
+            [
+                Column("id", np.arange(1, n_ci + 1)),
+                Column("person_id", ci_person),
+                Column("movie_id", ci_movie),
+                Column("person_role_id", ci_char, nulls=~has_char),
+                Column("role_id", ci_role),
+                Column("note", ci_notes, kind="str"),
+                Column("nr_order", ci_order_vals),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("cast_info", "person_id", "name", "id"))
+    db.add_foreign_key(ForeignKey("cast_info", "movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("cast_info", "person_role_id", "char_name", "id"))
+    db.add_foreign_key(ForeignKey("cast_info", "role_id", "role_type", "id"))
+
+    # ------------------------------------------------------------------ #
+    # movie_keyword — Zipfian keyword popularity, popularity fan-out
+    # ------------------------------------------------------------------ #
+    mk_counts = heavy_tail_counts(rng, fanout_popularity, mean=3.0, cap=25)
+    mk_movie = np.repeat(np.arange(1, n_titles + 1), mk_counts)
+    n_mk = len(mk_movie)
+    mk_keyword = sample_zipf(rng, n_keywords, n_mk, a=1.15) + 1
+    # 'sequel' keyword correlated with numbered titles (popularity proxy)
+    db.add_table(
+        Table(
+            "movie_keyword",
+            [
+                Column("id", np.arange(1, n_mk + 1)),
+                Column("movie_id", mk_movie),
+                Column("keyword_id", mk_keyword),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("movie_keyword", "movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("movie_keyword", "keyword_id", "keyword", "id"))
+
+    # ------------------------------------------------------------------ #
+    # movie_link — links between popular titles (sequel chains)
+    # ------------------------------------------------------------------ #
+    n_ml = max(4, n_titles // 4)
+    link_w = popularity / popularity.sum()
+    ml_movie = rng.choice(n_titles, size=n_ml, p=link_w) + 1
+    ml_linked = rng.choice(n_titles, size=n_ml, p=link_w) + 1
+    keep = ml_movie != ml_linked
+    ml_movie, ml_linked = ml_movie[keep], ml_linked[keep]
+    n_ml = len(ml_movie)
+    ml_type = sample_zipf(rng, len(LINK_NAMES), n_ml, a=1.0) + 1
+    db.add_table(
+        Table(
+            "movie_link",
+            [
+                Column("id", np.arange(1, n_ml + 1)),
+                Column("movie_id", ml_movie.astype(np.int64)),
+                Column("linked_movie_id", ml_linked.astype(np.int64)),
+                Column("link_type_id", ml_type),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("movie_link", "movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("movie_link", "linked_movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("movie_link", "link_type_id", "link_type", "id"))
+
+    # ------------------------------------------------------------------ #
+    # aka_name, aka_title, person_info, complete_cast
+    # ------------------------------------------------------------------ #
+    n_an = max(2, n_persons // 5)
+    an_person = rng.choice(n_persons, size=n_an, replace=False) + 1
+    an_names = [
+        f"{LAST_NAMES[int(l_)]} {FIRST_NAMES_M[int(f_)]}"
+        for l_, f_ in zip(
+            rng.integers(0, len(LAST_NAMES), n_an),
+            rng.integers(0, len(FIRST_NAMES_M), n_an),
+        )
+    ]
+    db.add_table(
+        Table(
+            "aka_name",
+            [
+                Column("id", np.arange(1, n_an + 1)),
+                Column("person_id", an_person.astype(np.int64)),
+                Column("name", an_names, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("aka_name", "person_id", "name", "id"))
+
+    n_at = max(2, n_titles // 5)
+    at_movie = rng.choice(n_titles, size=n_at, replace=False) + 1
+    at_titles = [
+        f"{TITLE_ADJECTIVES[int(a_)]} {TITLE_NOUNS[int(b_)]} (alt)"
+        for a_, b_ in zip(
+            rng.integers(0, len(TITLE_ADJECTIVES), n_at),
+            rng.integers(0, len(TITLE_NOUNS), n_at),
+        )
+    ]
+    db.add_table(
+        Table(
+            "aka_title",
+            [
+                Column("id", np.arange(1, n_at + 1)),
+                Column("movie_id", at_movie.astype(np.int64)),
+                Column("title", at_titles, kind="str"),
+                Column("kind_id", kind_ids[at_movie - 1]),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("aka_title", "movie_id", "title", "id"))
+    db.add_foreign_key(ForeignKey("aka_title", "kind_id", "kind_type", "id"))
+
+    pi_counts = rng.integers(0, 3, n_persons)
+    pi_person = np.repeat(np.arange(1, n_persons + 1), pi_counts)
+    n_pi = len(pi_person)
+    pi_type = np.where(
+        rng.random(n_pi) < 0.5, INFO_BIRTH_NOTES, INFO_HEIGHT
+    ).astype(np.int64)
+    pi_info = [
+        (
+            f"{COUNTRY_NAMES[int(c)]}"
+            if t == INFO_BIRTH_NOTES
+            else f"{int(h)} cm"
+        )
+        for t, c, h in zip(
+            pi_type,
+            sample_zipf(rng, len(COUNTRY_NAMES), n_pi, a=1.2),
+            rng.integers(150, 205, n_pi),
+        )
+    ]
+    pi_notes = [None if r < 0.8 else "(approx.)" for r in rng.random(n_pi)]
+    db.add_table(
+        Table(
+            "person_info",
+            [
+                Column("id", np.arange(1, n_pi + 1)),
+                Column("person_id", pi_person),
+                Column("info_type_id", pi_type),
+                Column("info", pi_info, kind="str"),
+                Column("note", pi_notes, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("person_info", "person_id", "name", "id"))
+    db.add_foreign_key(
+        ForeignKey("person_info", "info_type_id", "info_type", "id")
+    )
+
+    has_cc = rng.random(n_titles) < 0.4
+    cc_movie = np.arange(1, n_titles + 1)[has_cc]
+    n_cc = len(cc_movie)
+    cc_subject = rng.integers(1, 3, n_cc).astype(np.int64)  # cast / crew
+    cc_status = rng.integers(3, 5, n_cc).astype(np.int64)  # complete / +verified
+    db.add_table(
+        Table(
+            "complete_cast",
+            [
+                Column("id", np.arange(1, n_cc + 1)),
+                Column("movie_id", cc_movie.astype(np.int64)),
+                Column("subject_id", cc_subject),
+                Column("status_id", cc_status),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("complete_cast", "movie_id", "title", "id"))
+    db.add_foreign_key(
+        ForeignKey("complete_cast", "subject_id", "comp_cast_type", "id")
+    )
+    db.add_foreign_key(
+        ForeignKey("complete_cast", "status_id", "comp_cast_type", "id")
+    )
+
+    if analyze:
+        analyze_database(db, seed=seed)
+    return db
+
+
+def _add_enum_table(db: Database, name: str, value_col: str, values: list[str]) -> None:
+    """Small dimension table: (id, <value_col>)."""
+    db.add_table(
+        Table(
+            name,
+            [
+                Column("id", np.arange(1, len(values) + 1)),
+                Column(value_col, values, kind="str"),
+            ],
+            primary_key="id",
+        )
+    )

@@ -1,0 +1,204 @@
+"""Synthetic TPC-H subset: uniform, independent, inclusion-friendly.
+
+Figure 4's point is that TPC-H data embodies the very assumptions
+estimators make (uniformity, independence, principle of inclusion), so
+estimation is easy there.  This generator produces the TPC-H join core
+(region, nation, supplier, customer, orders, lineitem, part, partsupp)
+with those properties *by construction*:
+
+* every non-key attribute is uniform and independent of all others,
+* every foreign key is uniform over its full referenced domain,
+* fan-outs are constant-mean Poisson with no cross-table correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.column import Column
+from repro.catalog.schema import Database, ForeignKey
+from repro.catalog.statistics import analyze_database
+from repro.catalog.table import Table
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+ORDER_STATUS = ["F", "O", "P"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+PART_TYPES = [
+    "ECONOMY ANODIZED STEEL",
+    "ECONOMY BRUSHED BRASS",
+    "LARGE BURNISHED COPPER",
+    "MEDIUM PLATED NICKEL",
+    "PROMO POLISHED TIN",
+    "SMALL PLATED COPPER",
+    "STANDARD ANODIZED BRASS",
+    "STANDARD BURNISHED NICKEL",
+]
+
+TPCH_SCALES: dict[str, dict[str, int]] = {
+    "tiny": dict(n_customers=400, n_suppliers=60, n_parts=200, orders_per_cust=3),
+    "small": dict(n_customers=1500, n_suppliers=200, n_parts=800, orders_per_cust=4),
+    "medium": dict(n_customers=6000, n_suppliers=700, n_parts=3000, orders_per_cust=4),
+}
+
+
+def generate_tpch(
+    scale: str | dict[str, int] = "small", seed: int = 7, analyze: bool = True
+) -> Database:
+    """Generate the uniform/independent TPC-H join core."""
+    params = TPCH_SCALES[scale] if isinstance(scale, str) else dict(scale)
+    rng = np.random.default_rng(seed)
+    db = Database("tpch")
+
+    n_cust = params["n_customers"]
+    n_supp = params["n_suppliers"]
+    n_part = params["n_parts"]
+    orders_per_cust = params["orders_per_cust"]
+    n_nations = 25
+
+    db.add_table(
+        Table(
+            "region",
+            [
+                Column("r_regionkey", np.arange(len(REGIONS))),
+                Column("r_name", REGIONS, kind="str"),
+            ],
+            primary_key="r_regionkey",
+        )
+    )
+
+    nation_names = [f"NATION {i:02d}" for i in range(n_nations)]
+    nation_region = np.arange(n_nations) % len(REGIONS)  # exactly 5 per region
+    db.add_table(
+        Table(
+            "nation",
+            [
+                Column("n_nationkey", np.arange(n_nations)),
+                Column("n_name", nation_names, kind="str"),
+                Column("n_regionkey", nation_region),
+            ],
+            primary_key="n_nationkey",
+        )
+    )
+    db.add_foreign_key(ForeignKey("nation", "n_regionkey", "region", "r_regionkey"))
+
+    supp_nation = rng.integers(0, n_nations, n_supp)
+    db.add_table(
+        Table(
+            "supplier",
+            [
+                Column("s_suppkey", np.arange(n_supp)),
+                Column("s_nationkey", supp_nation),
+                Column("s_acctbal", rng.integers(-999, 9999, n_supp)),
+            ],
+            primary_key="s_suppkey",
+        )
+    )
+    db.add_foreign_key(ForeignKey("supplier", "s_nationkey", "nation", "n_nationkey"))
+
+    cust_nation = rng.integers(0, n_nations, n_cust)
+    db.add_table(
+        Table(
+            "customer",
+            [
+                Column("c_custkey", np.arange(n_cust)),
+                Column("c_nationkey", cust_nation),
+                Column(
+                    "c_mktsegment",
+                    [SEGMENTS[i] for i in rng.integers(0, len(SEGMENTS), n_cust)],
+                    kind="str",
+                ),
+                Column("c_acctbal", rng.integers(-999, 9999, n_cust)),
+            ],
+            primary_key="c_custkey",
+        )
+    )
+    db.add_foreign_key(ForeignKey("customer", "c_nationkey", "nation", "n_nationkey"))
+
+    db.add_table(
+        Table(
+            "part",
+            [
+                Column("p_partkey", np.arange(n_part)),
+                Column(
+                    "p_type",
+                    [PART_TYPES[i] for i in rng.integers(0, len(PART_TYPES), n_part)],
+                    kind="str",
+                ),
+                Column("p_size", rng.integers(1, 51, n_part)),
+            ],
+            primary_key="p_partkey",
+        )
+    )
+
+    ps_part = np.repeat(np.arange(n_part), 4)  # constant fan-out, like TPC-H
+    ps_supp = rng.integers(0, n_supp, len(ps_part))
+    db.add_table(
+        Table(
+            "partsupp",
+            [
+                Column("ps_id", np.arange(len(ps_part))),
+                Column("ps_partkey", ps_part),
+                Column("ps_suppkey", ps_supp),
+                Column("ps_supplycost", rng.integers(1, 1001, len(ps_part))),
+            ],
+            primary_key="ps_id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("partsupp", "ps_partkey", "part", "p_partkey"))
+    db.add_foreign_key(ForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey"))
+
+    order_counts = rng.poisson(orders_per_cust, n_cust)
+    o_cust = np.repeat(np.arange(n_cust), order_counts)
+    n_orders = len(o_cust)
+    o_year = rng.integers(1992, 1999, n_orders)
+    db.add_table(
+        Table(
+            "orders",
+            [
+                Column("o_orderkey", np.arange(n_orders)),
+                Column("o_custkey", o_cust),
+                Column(
+                    "o_orderstatus",
+                    [ORDER_STATUS[i] for i in rng.integers(0, 3, n_orders)],
+                    kind="str",
+                ),
+                Column("o_orderyear", o_year),
+                Column("o_totalprice", rng.integers(1000, 400000, n_orders)),
+            ],
+            primary_key="o_orderkey",
+        )
+    )
+    db.add_foreign_key(ForeignKey("orders", "o_custkey", "customer", "c_custkey"))
+
+    line_counts = 1 + rng.integers(0, 7, n_orders)
+    l_order = np.repeat(np.arange(n_orders), line_counts)
+    n_lines = len(l_order)
+    l_supp = rng.integers(0, n_supp, n_lines)
+    l_part = rng.integers(0, n_part, n_lines)
+    db.add_table(
+        Table(
+            "lineitem",
+            [
+                Column("l_id", np.arange(n_lines)),
+                Column("l_orderkey", l_order),
+                Column("l_suppkey", l_supp),
+                Column("l_partkey", l_part),
+                Column("l_quantity", rng.integers(1, 51, n_lines)),
+                Column("l_shipyear", rng.integers(1992, 1999, n_lines)),
+                Column(
+                    "l_shipmode",
+                    [SHIP_MODES[i] for i in rng.integers(0, len(SHIP_MODES), n_lines)],
+                    kind="str",
+                ),
+            ],
+            primary_key="l_id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"))
+    db.add_foreign_key(ForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey"))
+    db.add_foreign_key(ForeignKey("lineitem", "l_partkey", "part", "p_partkey"))
+
+    if analyze:
+        analyze_database(db, seed=seed)
+    return db

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """Schema- or table-level inconsistency (unknown table/column, duplicate
+    definitions, mismatched column lengths, ...)."""
+
+
+class QueryError(ReproError):
+    """Malformed query: unknown alias, disconnected join graph where a
+    connected one is required, predicate over a missing column, ..."""
+
+
+class PlanError(ReproError):
+    """Invalid physical plan: wrong operand shapes, an index-nested-loop join
+    whose inner side is not an indexed base table, ..."""
+
+
+class EstimationError(ReproError):
+    """A cardinality estimator was asked for a subexpression it cannot
+    handle (e.g. a subset of relations that is not connected)."""
+
+
+class EnumerationError(ReproError):
+    """Join-order enumeration failed (e.g. no valid plan exists under the
+    requested tree-shape restriction)."""
+
+
+class WorkBudgetExceeded(ReproError):
+    """The execution engine exceeded its work budget.
+
+    This models the query *timeouts* observed in the paper (Section 4.1):
+    a disastrous plan — typically an un-indexed nested-loop join chosen on
+    the basis of a severe cardinality underestimate — performs so much work
+    that the query is aborted.
+    """
+
+    def __init__(self, work_done: float, budget: float) -> None:
+        super().__init__(
+            f"work budget exceeded: {work_done:.3g} > {budget:.3g} units"
+        )
+        self.work_done = work_done
+        self.budget = budget

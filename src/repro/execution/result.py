@@ -1,0 +1,44 @@
+"""Intermediate and final results: aligned row-id vectors per alias."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.schema import Database
+from repro.query.query import Query
+
+
+@dataclass
+class ResultSet:
+    """A (possibly intermediate) join result.
+
+    ``row_ids[alias]`` holds, for each output row, the row id of the
+    contributing tuple of that alias's base table; all arrays share one
+    length.  This row-id representation keeps joins cheap and lets callers
+    project any column afterwards.
+    """
+
+    subset: int
+    row_ids: dict[str, np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        if not self.row_ids:
+            return 0
+        return int(len(next(iter(self.row_ids.values()))))
+
+    def take(self, positions: np.ndarray) -> "ResultSet":
+        """A new result restricted/reordered to ``positions``."""
+        return ResultSet(
+            self.subset,
+            {alias: ids[positions] for alias, ids in self.row_ids.items()},
+        )
+
+    def column_values(
+        self, db: Database, query: Query, alias: str, column: str
+    ) -> np.ndarray:
+        """Decoded values of ``alias.column`` for every output row."""
+        table = db.table(query.relation_for(alias).table)
+        return table.column(column).decoded(self.row_ids[alias])

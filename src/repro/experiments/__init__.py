@@ -1,0 +1,23 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+===========  ==========================================================
+Module       Reproduces
+===========  ==========================================================
+``table1``   Table 1 — base-table selection q-errors per estimator
+``fig3``     Figure 3 — join estimate error growth with join count
+``fig4``     Figure 4 — JOB vs TPC-H per-query estimation errors
+``fig5``     Figure 5 — default vs true distinct counts
+``fig6``     Figure 6 + §4.1 table — slowdowns from injected estimates,
+             engine risk ablation (NLJ / rehashing)
+``fig7``     Figure 7 — PK-only vs PK+FK index configurations
+``fig8``     Figure 8 — cost model vs runtime correlation
+``fig9``     Figure 9 — Quickpick plan-space cost distributions
+``table2``   Table 2 — restricted tree shapes
+``table3``   Table 3 — DP vs Quickpick-1000 vs GOO
+``ablation`` beyond-paper sensitivity studies
+===========  ==========================================================
+"""
+
+from repro.experiments.harness import ExperimentSuite
+
+__all__ = ["ExperimentSuite"]

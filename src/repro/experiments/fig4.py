@@ -1,0 +1,114 @@
+"""Figure 4: JOB vs TPC-H estimation errors (PostgreSQL estimator).
+
+Runs the PostgreSQL-style estimator over all subexpressions of four JOB
+queries and the three TPC-H join queries (5, 8, 10) on a uniform,
+independence-friendly TPC-H instance.  The expected shape — and the
+paper's point — is that the TPC-H errors stay within a narrow band while
+the JOB errors blow up: synthetic benchmarks whose generators *embody*
+the estimator's assumptions cannot stress cardinality estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cardinality import PostgresEstimator, TrueCardinalities
+from repro.cardinality.qerror import signed_ratio
+from repro.datagen import generate_tpch
+from repro.experiments.harness import ExperimentSuite
+from repro.experiments.report import format_table
+from repro.query.join_graph import JoinGraph
+from repro.query.subgraphs import connected_subsets
+from repro.util.bitset import popcount
+from repro.workloads import TPCH_QUERIES
+
+#: JOB queries shown in the paper's Figure 4
+JOB_FIG4 = ["6a", "16d", "17b", "25c"]
+TPCH_FIG4 = ["tpch5", "tpch8", "tpch10"]
+
+
+@dataclass
+class Fig4Result:
+    """ratios[query_name][n_joins] = signed est/true ratios."""
+
+    ratios: dict[str, dict[int, list[float]]] = field(repr=False)
+    max_abs_log_error: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = []
+        for name, by_joins in self.ratios.items():
+            values = np.asarray(
+                [v for vs in by_joins.values() for v in vs]
+            )
+            rows.append([
+                name,
+                len(values),
+                float(np.percentile(values, 5)),
+                float(np.median(values)),
+                float(np.percentile(values, 95)),
+                self.max_abs_log_error[name],
+            ])
+        return format_table(
+            ["query", "n subexpr", "p5 ratio", "median", "p95",
+             "max |log10 err|"],
+            rows,
+            title="Figure 4: PostgreSQL-style estimates, JOB vs TPC-H",
+        )
+
+    def spread(self, names: list[str]) -> float:
+        """Largest |log10(est/true)| over the given queries."""
+        return max(self.max_abs_log_error[n] for n in names)
+
+
+def run(
+    suite: ExperimentSuite,
+    tpch_scale: str = "small",
+    max_subexpr_size: int = 7,
+) -> Fig4Result:
+    ratios: dict[str, dict[int, list[float]]] = {}
+
+    # JOB side: reuse the suite's database and estimator
+    for name in JOB_FIG4:
+        query = suite.query(name)
+        suite.truth.compute_all(query, max_size=max_subexpr_size)
+        ratios[name] = _query_ratios(
+            query,
+            suite.card("PostgreSQL", query),
+            suite.true_card(query),
+            max_subexpr_size,
+        )
+
+    # TPC-H side: fresh uniform database, same estimator family
+    tpch_db = generate_tpch(tpch_scale, seed=suite.seed)
+    tpch_est = PostgresEstimator(tpch_db)
+    tpch_truth = TrueCardinalities(tpch_db)
+    for name in TPCH_FIG4:
+        query = TPCH_QUERIES[name]
+        ratios[name] = _query_ratios(
+            query,
+            tpch_est.bind(query),
+            tpch_truth.bind(query),
+            max_subexpr_size,
+        )
+
+    max_abs_log = {
+        name: max(
+            abs(float(np.log10(v)))
+            for vs in by_joins.values()
+            for v in vs
+        )
+        for name, by_joins in ratios.items()
+    }
+    return Fig4Result(ratios=ratios, max_abs_log_error=max_abs_log)
+
+
+def _query_ratios(query, card, true_card, max_size) -> dict[int, list[float]]:
+    graph = JoinGraph(query)
+    out: dict[int, list[float]] = {}
+    for subset in connected_subsets(graph, max_size=max_size):
+        joins = popcount(subset) - 1
+        ratio = signed_ratio(card(subset), true_card(subset))
+        out.setdefault(joins, []).append(ratio)
+    return out

@@ -1,0 +1,126 @@
+"""Figure 6 and the Section 4.1 injection table.
+
+Two experiments on the primary-key-only physical design:
+
+* :func:`run_injection` — inject each system's estimates into the planner
+  and bucket the runtime slowdowns vs the true-cardinality plan (the
+  table in Section 4.1, columns ``<0.9`` … ``>100``).
+* :func:`run_engine_ablation` — PostgreSQL estimates only, across the
+  three engine scenarios: (a) default, (b) no nested-loop joins,
+  (c) plus runtime hash-table rehashing (Figure 6a–c).
+
+Expected shape: (a) suffers timeouts / >100× cases caused by nested-loop
+joins picked on underestimates; (b) removes the timeouts; (c) leaves only
+a small tail above 2×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import ESTIMATOR_ORDER, ExperimentSuite
+from repro.experiments.report import (
+    SLOWDOWN_BUCKETS,
+    bucketize_slowdowns,
+    format_table,
+)
+from repro.experiments.runtime import SCENARIOS, RuntimeRunner
+from repro.physical import IndexConfig
+
+_BUCKET_LABELS = [label for _, _, label in SLOWDOWN_BUCKETS]
+
+
+@dataclass
+class SlowdownDistribution:
+    """Slowdowns of one (estimator, scenario, config) combination."""
+
+    label: str
+    slowdowns: list[float] = field(repr=False)
+    timeouts: int = 0
+
+    @property
+    def buckets(self) -> dict[str, float]:
+        return bucketize_slowdowns(self.slowdowns)
+
+    def fraction_at_least(self, threshold: float) -> float:
+        if not self.slowdowns:
+            return 0.0
+        return sum(s >= threshold for s in self.slowdowns) / len(self.slowdowns)
+
+
+@dataclass
+class Fig6Result:
+    distributions: dict[str, SlowdownDistribution]
+    title: str
+
+    def render(self) -> str:
+        rows = []
+        for name, dist in self.distributions.items():
+            buckets = dist.buckets
+            rows.append(
+                [name]
+                + [f"{buckets[label]:.1%}" for label in _BUCKET_LABELS]
+                + [dist.timeouts]
+            )
+        return format_table(
+            ["source"] + _BUCKET_LABELS + ["timeouts"], rows, title=self.title
+        )
+
+
+def run_injection(
+    suite: ExperimentSuite,
+    config: IndexConfig = IndexConfig.PK,
+    scenario_name: str = "default",
+    work_budget: float | None = None,
+) -> Fig6Result:
+    """The Section 4.1 table: per-estimator slowdown distributions."""
+    runner = RuntimeRunner(suite, work_budget=work_budget)
+    scenario = SCENARIOS[scenario_name]
+    distributions: dict[str, SlowdownDistribution] = {}
+    for name in ESTIMATOR_ORDER:
+        slowdowns: list[float] = []
+        timeouts = 0
+        for query in suite.queries:
+            ratio, timed_out = runner.slowdown(
+                query, suite.card(name, query), config, scenario
+            )
+            slowdowns.append(ratio)
+            timeouts += int(timed_out)
+        distributions[name] = SlowdownDistribution(name, slowdowns, timeouts)
+    return Fig6Result(
+        distributions=distributions,
+        title=(
+            f"Section 4.1: slowdown vs true-cardinality plan "
+            f"({config.value}, engine={scenario.name})"
+        ),
+    )
+
+
+def run_engine_ablation(
+    suite: ExperimentSuite,
+    config: IndexConfig = IndexConfig.PK,
+    estimator: str = "PostgreSQL",
+    work_budget: float | None = None,
+) -> Fig6Result:
+    """Figure 6a–c: one estimator across the three engine scenarios."""
+    runner = RuntimeRunner(suite, work_budget=work_budget)
+    distributions: dict[str, SlowdownDistribution] = {}
+    for scenario in SCENARIOS.values():
+        slowdowns: list[float] = []
+        timeouts = 0
+        for query in suite.queries:
+            ratio, timed_out = runner.slowdown(
+                query, suite.card(estimator, query), config, scenario
+            )
+            slowdowns.append(ratio)
+            timeouts += int(timed_out)
+        distributions[scenario.name] = SlowdownDistribution(
+            scenario.name, slowdowns, timeouts
+        )
+    return Fig6Result(
+        distributions=distributions,
+        title=(
+            f"Figure 6: {estimator} estimates, {config.value}, "
+            "engine risk ablation"
+        ),
+    )

@@ -1,0 +1,69 @@
+"""Figure 7: slowdowns under richer physical designs (Section 4.3).
+
+Same methodology as Figure 6c (no nested-loop joins, rehashing enabled),
+comparing the primary-key-only configuration against primary + foreign
+key indexes.  Expected shape: with FK indexes available, a much larger
+fraction of queries lands ≥ 2× above the true-cardinality plan — more
+indexes widen the plan space and make misestimates dangerous, even though
+absolute runtimes generally improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig6 import Fig6Result, SlowdownDistribution
+from repro.experiments.harness import ExperimentSuite
+from repro.experiments.runtime import SCENARIOS, RuntimeRunner
+from repro.physical import IndexConfig
+
+
+@dataclass
+class Fig7Result:
+    by_config: dict[IndexConfig, SlowdownDistribution]
+    #: geometric-style summary: median absolute runtime per config (ms)
+    median_runtime_ms: dict[IndexConfig, float]
+
+    def render(self) -> str:
+        inner = Fig6Result(
+            distributions={
+                cfg.value: dist for cfg, dist in self.by_config.items()
+            },
+            title="Figure 7: slowdown vs true-cardinality plan "
+            "(no-nlj + rehash engine)",
+        )
+        extra = "\n".join(
+            f"median absolute runtime [{cfg.value}]: {ms:.2f} ms"
+            for cfg, ms in self.median_runtime_ms.items()
+        )
+        return inner.render() + "\n" + extra
+
+
+def run(
+    suite: ExperimentSuite,
+    estimator: str = "PostgreSQL",
+    configs: tuple[IndexConfig, ...] = (IndexConfig.PK, IndexConfig.PK_FK),
+    work_budget: float | None = None,
+) -> Fig7Result:
+    runner = RuntimeRunner(suite, work_budget=work_budget)
+    scenario = SCENARIOS["no-nlj+rehash"]
+    by_config: dict[IndexConfig, SlowdownDistribution] = {}
+    median_runtime: dict[IndexConfig, float] = {}
+    for config in configs:
+        slowdowns: list[float] = []
+        runtimes: list[float] = []
+        timeouts = 0
+        for query in suite.queries:
+            card = suite.card(estimator, query)
+            plan = runner.plan_for(query, card, config, scenario)
+            ms, timed_out = runner.execute_ms(query, plan, config, scenario)
+            optimal = runner.optimal_runtime(query, config, scenario)
+            slowdowns.append(ms / max(optimal, 1e-9))
+            runtimes.append(ms)
+            timeouts += int(timed_out)
+        by_config[config] = SlowdownDistribution(
+            config.value, slowdowns, timeouts
+        )
+        runtimes.sort()
+        median_runtime[config] = runtimes[len(runtimes) // 2]
+    return Fig7Result(by_config=by_config, median_runtime_ms=median_runtime)

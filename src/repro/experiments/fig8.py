@@ -1,0 +1,147 @@
+"""Figure 8: predicted cost vs (simulated) runtime for three cost models.
+
+Six panels, as in the paper: {standard, tuned, simple C_mm} × {PostgreSQL
+estimates, true cardinalities}.  For each combination the optimizer picks
+a plan, the engine executes it, and we relate the model's predicted cost
+to the measured runtime with a log–log linear fit.  Reported per panel:
+
+* the Pearson correlation of log(cost) vs log(runtime),
+* the median absolute percentage error of the fitted runtime predictor
+  (the paper's ε; 38% → 30% when tuning, with true cardinalities),
+
+plus the runtime-improvement summary of Section 5.4: the geometric-mean
+runtime of the plans each model picks (under true cardinalities),
+relative to the standard model's plans.
+
+Expected shape: with estimates the point cloud is diffuse regardless of
+the model; with true cardinalities it tightens; tuned ≥ standard and
+simple ≈ tuned — cost model choice is second-order next to cardinality
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost import (
+    PostgresCostModel,
+    SimpleCostModel,
+    TunedPostgresCostModel,
+)
+from repro.enumeration.dp import DPEnumerator
+from repro.experiments.harness import ExperimentSuite
+from repro.experiments.report import format_table
+from repro.experiments.runtime import SCENARIOS, RuntimeRunner
+from repro.physical import IndexConfig
+from repro.util.stats import geometric_mean
+
+COST_MODELS = ("standard", "tuned", "simple")
+CARD_SOURCES = ("PostgreSQL", "true")
+
+
+@dataclass
+class Panel:
+    """One scatter panel: paired (cost, runtime) plus fit quality."""
+
+    cost_model: str
+    card_source: str
+    costs: list[float] = field(repr=False, default_factory=list)
+    runtimes_ms: list[float] = field(repr=False, default_factory=list)
+    correlation: float = float("nan")
+    median_error: float = float("nan")
+
+    def fit(self) -> None:
+        logc = np.log10(np.maximum(np.asarray(self.costs), 1e-9))
+        logr = np.log10(np.maximum(np.asarray(self.runtimes_ms), 1e-9))
+        if len(logc) < 3:
+            raise ValueError("not enough points to fit")
+        self.correlation = float(np.corrcoef(logc, logr)[0, 1])
+        slope, intercept = np.polyfit(logc, logr, 1)
+        predicted = 10 ** (slope * logc + intercept)
+        real = np.asarray(self.runtimes_ms)
+        self.median_error = float(
+            np.median(np.abs(real - predicted) / np.maximum(real, 1e-9))
+        )
+
+
+@dataclass
+class Fig8Result:
+    panels: dict[tuple[str, str], Panel]
+    #: geo-mean runtime of each model's plan relative to 'standard'
+    runtime_vs_standard: dict[str, float]
+
+    def render(self) -> str:
+        rows = [
+            [
+                panel.cost_model,
+                panel.card_source,
+                len(panel.costs),
+                panel.correlation,
+                f"{panel.median_error:.0%}",
+            ]
+            for panel in self.panels.values()
+        ]
+        table = format_table(
+            ["cost model", "cardinalities", "n", "log-log corr",
+             "median pred. error"],
+            rows,
+            title="Figure 8: cost model vs simulated runtime",
+        )
+        extra = "\n".join(
+            f"geo-mean runtime vs standard model ({name}): {ratio:.2f}x"
+            for name, ratio in self.runtime_vs_standard.items()
+        )
+        return table + "\n" + extra
+
+
+def _make_cost_model(name: str, db):
+    if name == "standard":
+        return PostgresCostModel(db)
+    if name == "tuned":
+        return TunedPostgresCostModel(db)
+    if name == "simple":
+        return SimpleCostModel(db)
+    raise ValueError(f"unknown cost model {name!r}")
+
+
+def run(
+    suite: ExperimentSuite,
+    config: IndexConfig = IndexConfig.PK_FK,
+    work_budget: float | None = None,
+) -> Fig8Result:
+    runner = RuntimeRunner(suite, work_budget=work_budget)
+    scenario = SCENARIOS["no-nlj+rehash"]
+    design = suite.design(config)
+    panels: dict[tuple[str, str], Panel] = {}
+    runtime_by_model: dict[str, list[float]] = {m: [] for m in COST_MODELS}
+
+    for model_name in COST_MODELS:
+        cost_model = _make_cost_model(model_name, suite.db)
+        dp = DPEnumerator(cost_model, design, allow_nlj=False)
+        for source in CARD_SOURCES:
+            panel = Panel(cost_model=model_name, card_source=source)
+            for query in suite.queries:
+                card = (
+                    suite.true_card(query)
+                    if source == "true"
+                    else suite.card("PostgreSQL", query)
+                )
+                plan, cost = dp.optimize(suite.context(query), card)
+                ms, _ = runner.execute_ms(query, plan, config, scenario)
+                panel.costs.append(cost)
+                panel.runtimes_ms.append(ms)
+                if source == "true":
+                    runtime_by_model[model_name].append(max(ms, 1e-9))
+            panel.fit()
+            panels[(model_name, source)] = panel
+
+    base = runtime_by_model["standard"]
+    runtime_vs_standard = {
+        name: geometric_mean(
+            [r / b for r, b in zip(values, base)]
+        )
+        for name, values in runtime_by_model.items()
+    }
+    return Fig8Result(panels=panels, runtime_vs_standard=runtime_vs_standard)

@@ -1,0 +1,127 @@
+"""Figure 9 and Section 6.1: the shape of the plan space.
+
+Quickpick is run many times per query to sample random-but-valid join
+orders; each sampled plan is costed with *true* cardinalities under the
+C_mm cost model and normalised by the cost of the optimal PK+FK plan —
+reproducing the paper's density plots for five representative queries
+across the three index configurations.
+
+The workload-level aggregates of Section 6.1 are computed as well:
+
+* the percentage of random plans within 1.5× of the (per-configuration)
+  optimum — paper: 44% (no indexes), 39% (PK), 4% (PK+FK);
+* the average worst/best cost ratio per configuration — paper: 101×,
+  115×, 48120×.
+
+Expected shape: richer index configurations make good plans *rarer* and
+stretch the distribution by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost import SimpleCostModel
+from repro.cost.base import plan_cost
+from repro.enumeration.dp import DPEnumerator
+from repro.enumeration.quickpick import quickpick
+from repro.experiments.harness import ExperimentSuite
+from repro.experiments.report import format_table
+from repro.physical import IndexConfig
+
+#: the five queries the paper plots (Figure 9)
+FIG9_QUERIES = ["6a", "13a", "16d", "17b", "25c"]
+CONFIGS = (IndexConfig.NONE, IndexConfig.PK, IndexConfig.PK_FK)
+
+
+@dataclass
+class Fig9Result:
+    #: normalized_costs[query][config] = sorted normalized plan costs
+    normalized_costs: dict[str, dict[IndexConfig, np.ndarray]] = field(
+        repr=False
+    )
+    #: Section 6.1 aggregates over the sampled queries
+    fraction_within_1_5: dict[IndexConfig, float] = field(default_factory=dict)
+    avg_width: dict[IndexConfig, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = []
+        for name, by_config in self.normalized_costs.items():
+            for config, costs in by_config.items():
+                rows.append([
+                    name,
+                    config.value,
+                    float(costs.min()),
+                    float(np.median(costs)),
+                    float(np.percentile(costs, 95)),
+                    float(costs.max()),
+                ])
+        table = format_table(
+            ["query", "design", "min", "median", "p95", "max"],
+            rows,
+            title=(
+                "Figure 9: Quickpick plan costs (true cards, normalized by "
+                "optimal PK+FK plan)"
+            ),
+        )
+        agg = "\n".join(
+            f"{config.value}: {self.fraction_within_1_5[config]:.1%} of plans "
+            f"<= 1.5x optimum; avg worst/best width "
+            f"{self.avg_width[config]:.0f}x"
+            for config in CONFIGS
+        )
+        return table + "\n" + agg
+
+
+def run(
+    suite: ExperimentSuite,
+    query_names: list[str] | None = None,
+    n_plans: int = 1000,
+    seed: int = 7,
+) -> Fig9Result:
+    """Sample the plan space of the given queries under all three designs."""
+    names = query_names if query_names is not None else FIG9_QUERIES
+    cost_model = SimpleCostModel(suite.db)
+    normalized: dict[str, dict[IndexConfig, np.ndarray]] = {}
+    within: dict[IndexConfig, list[float]] = {c: [] for c in CONFIGS}
+    widths: dict[IndexConfig, list[float]] = {c: [] for c in CONFIGS}
+
+    for name in names:
+        query = suite.query(name)
+        ctx = suite.context(query)
+        tcard = suite.true_card(query)
+        # reference: optimal plan with FK indexes under true cards
+        fk_design = suite.design(IndexConfig.PK_FK)
+        dp = DPEnumerator(cost_model, fk_design, allow_nlj=False)
+        _, fk_optimal_cost = dp.optimize(ctx, tcard)
+        normalized[name] = {}
+        for config in CONFIGS:
+            design = suite.design(config)
+            _, _, plans = quickpick(
+                ctx, tcard, cost_model, design,
+                n_plans=n_plans, seed=seed, collect_all=True,
+            )
+            costs = np.asarray(
+                [plan_cost(p, cost_model, tcard) for p in plans]
+            )
+            normalized[name][config] = np.sort(
+                costs / max(fk_optimal_cost, 1e-9)
+            )
+            # per-config optimum for the aggregates
+            dp_cfg = DPEnumerator(cost_model, design, allow_nlj=False)
+            _, cfg_optimal = dp_cfg.optimize(ctx, tcard)
+            ratio_to_cfg_opt = costs / max(cfg_optimal, 1e-9)
+            within[config].append(float(np.mean(ratio_to_cfg_opt <= 1.5)))
+            widths[config].append(
+                float(costs.max() / max(costs.min(), 1e-9))
+            )
+
+    return Fig9Result(
+        normalized_costs=normalized,
+        fraction_within_1_5={
+            c: float(np.mean(v)) for c, v in within.items()
+        },
+        avg_width={c: float(np.mean(v)) for c, v in widths.items()},
+    )

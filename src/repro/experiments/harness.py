@@ -1,0 +1,113 @@
+"""Shared experiment infrastructure.
+
+An :class:`ExperimentSuite` owns one synthetic IMDB instance, the paper's
+five estimator analogues, the truth oracle, and per-query caches (query
+contexts, bound cardinality functions).  Every experiment module takes a
+suite so that expensive state — above all exact cardinalities — is
+computed once and shared.
+
+Estimator naming follows the paper's anonymisation:
+
+==============  =====================================================
+Display name    Implementation
+==============  =====================================================
+``PostgreSQL``  :class:`~repro.cardinality.postgres.PostgresEstimator`
+``DBMS A``      :class:`~repro.cardinality.profiles.DampedEstimator`
+``DBMS B``      :class:`~repro.cardinality.profiles.CoarseHistogramEstimator`
+``DBMS C``      :class:`~repro.cardinality.profiles.MagicConstantEstimator`
+``HyPer``       :class:`~repro.cardinality.sampling.SamplingEstimator`
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.cardinality import (
+    CoarseHistogramEstimator,
+    DampedEstimator,
+    MagicConstantEstimator,
+    PostgresEstimator,
+    SamplingEstimator,
+    TrueCardinalities,
+)
+from repro.cardinality.base import BoundCard, CardinalityEstimator
+from repro.catalog.schema import Database
+from repro.datagen import generate_imdb
+from repro.enumeration import QueryContext
+from repro.physical import IndexConfig, PhysicalDesign
+from repro.query.query import Query
+from repro.workloads import job_queries, job_query
+
+#: the paper's estimator line-up, in Table 1 / Figure 3 order
+ESTIMATOR_ORDER = ["PostgreSQL", "DBMS A", "DBMS B", "DBMS C", "HyPer"]
+
+
+class ExperimentSuite:
+    """One database + workload + estimators, with caching."""
+
+    def __init__(
+        self,
+        scale: str = "small",
+        seed: int = 42,
+        query_names: list[str] | None = None,
+        db: Database | None = None,
+        correlation: float = 0.8,
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.db = db if db is not None else generate_imdb(
+            scale, seed=seed, correlation=correlation
+        )
+        if query_names is None:
+            self.queries: list[Query] = job_queries()
+        else:
+            self.queries = [job_query(name) for name in query_names]
+        self.truth = TrueCardinalities(self.db)
+        self.estimators: dict[str, CardinalityEstimator] = {
+            "PostgreSQL": PostgresEstimator(self.db),
+            "DBMS A": DampedEstimator(self.db),
+            "DBMS B": CoarseHistogramEstimator(self.db),
+            "DBMS C": MagicConstantEstimator(self.db),
+            "HyPer": SamplingEstimator(self.db),
+        }
+        self._contexts: dict[str, QueryContext] = {}
+        self._cards: dict[tuple[str, str], BoundCard] = {}
+        self._designs: dict[IndexConfig, PhysicalDesign] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def context(self, query: Query) -> QueryContext:
+        ctx = self._contexts.get(query.name)
+        if ctx is None:
+            ctx = QueryContext(query)
+            self._contexts[query.name] = ctx
+        return ctx
+
+    def card(self, estimator_name: str, query: Query) -> BoundCard:
+        """Bound (memoised) cardinality function of a named estimator."""
+        key = (estimator_name, query.name)
+        card = self._cards.get(key)
+        if card is None:
+            card = self.estimators[estimator_name].bind(query)
+            self._cards[key] = card
+        return card
+
+    def true_card(self, query: Query) -> BoundCard:
+        key = ("__truth__", query.name)
+        card = self._cards.get(key)
+        if card is None:
+            card = self.truth.bind(query)
+            self._cards[key] = card
+        return card
+
+    def design(self, config: IndexConfig) -> PhysicalDesign:
+        design = self._designs.get(config)
+        if design is None:
+            design = PhysicalDesign(self.db, config)
+            self._designs[config] = design
+        return design
+
+    def query(self, name: str) -> Query:
+        for q in self.queries:
+            if q.name == name:
+                return q
+        raise KeyError(f"query {name!r} is not part of this suite")

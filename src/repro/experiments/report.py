@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results (tables, histograms)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A padded ASCII table; floats are shown with 3 significant digits."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    labels: Sequence[str],
+    fractions: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of fractions (0..1), like the Figure 6 bars."""
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(label) for label in labels)
+    for label, frac in zip(labels, fractions):
+        bar = "#" * int(round(frac * width))
+        lines.append(f"{label.rjust(label_w)} |{bar.ljust(width)}| {frac:6.1%}")
+    return "\n".join(lines)
+
+
+SLOWDOWN_BUCKETS: list[tuple[float, float, str]] = [
+    (0.0, 0.9, "<0.9"),
+    (0.9, 1.1, "[0.9,1.1)"),
+    (1.1, 2.0, "[1.1,2)"),
+    (2.0, 10.0, "[2,10)"),
+    (10.0, 100.0, "[10,100)"),
+    (100.0, float("inf"), ">100"),
+]
+
+
+def bucketize_slowdowns(slowdowns: Sequence[float]) -> dict[str, float]:
+    """Fractions per slowdown bucket (the paper's Section 4 grouping)."""
+    if not slowdowns:
+        raise ValueError("no slowdowns to bucketize")
+    out = {label: 0.0 for _, _, label in SLOWDOWN_BUCKETS}
+    for s in slowdowns:
+        for lo, hi, label in SLOWDOWN_BUCKETS:
+            if lo <= s < hi:
+                out[label] += 1
+                break
+    n = len(slowdowns)
+    return {label: count / n for label, count in out.items()}

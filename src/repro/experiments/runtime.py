@@ -1,0 +1,125 @@
+"""Shared machinery for the runtime (Section 4) experiments.
+
+The paper's Section 4 methodology: plans are optimized with some
+cardinality source injected into the (PostgreSQL-style) planner, executed
+on the same engine, and their runtimes compared against the plan obtained
+from the *true* cardinalities.  Queries that exceed the work budget count
+as timeouts, which land in the ``>100`` slowdown bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cardinality.base import BoundCard
+from repro.cost.postgres_cost import TunedPostgresCostModel
+from repro.enumeration.dp import DPEnumerator
+from repro.errors import WorkBudgetExceeded
+from repro.execution import EngineConfig, ExecutionContext, execute_plan
+from repro.execution.context import WORK_UNITS_PER_MS
+from repro.experiments.harness import ExperimentSuite
+from repro.physical import IndexConfig
+from repro.plans.plan import PlanNode
+from repro.query.query import Query
+
+
+@dataclass(frozen=True)
+class EngineScenario:
+    """One engine/optimizer risk configuration from Section 4.1.
+
+    ``default``     — Figure 6a: nested-loop joins allowed, hash tables
+                      sized from estimates.
+    ``no-nlj``      — Figure 6b: non-index nested-loop joins disabled.
+    ``no-nlj+rehash`` — Figure 6c: additionally, hash tables resized at
+                      runtime from the true build size.
+    """
+
+    name: str
+    allow_nlj: bool
+    rehash: bool
+
+
+SCENARIOS: dict[str, EngineScenario] = {
+    "default": EngineScenario("default", allow_nlj=True, rehash=False),
+    "no-nlj": EngineScenario("no-nlj", allow_nlj=False, rehash=False),
+    "no-nlj+rehash": EngineScenario(
+        "no-nlj+rehash", allow_nlj=False, rehash=True
+    ),
+}
+
+
+class RuntimeRunner:
+    """Optimize-with-injected-cards, execute, measure — with caching."""
+
+    def __init__(
+        self, suite: ExperimentSuite, work_budget: float | None = None
+    ) -> None:
+        self.suite = suite
+        self.work_budget = work_budget
+        self._optimal_runtime: dict[tuple[str, IndexConfig, str], float] = {}
+
+    def _engine_config(self, scenario: EngineScenario) -> EngineConfig:
+        if self.work_budget is None:
+            return EngineConfig(rehash=scenario.rehash)
+        return EngineConfig(
+            rehash=scenario.rehash, work_budget=self.work_budget
+        )
+
+    def plan_for(
+        self,
+        query: Query,
+        card: BoundCard,
+        config: IndexConfig,
+        scenario: EngineScenario,
+    ) -> PlanNode:
+        design = self.suite.design(config)
+        # planning uses the main-memory-tuned cost model so that measured
+        # slowdowns are attributable to cardinalities, not to the disk
+        # model's I/O weights (the paper isolates the same way: its engine
+        # is fully cached, and Section 5 handles cost-model error separately)
+        cost_model = TunedPostgresCostModel(self.suite.db)
+        dp = DPEnumerator(cost_model, design, allow_nlj=scenario.allow_nlj)
+        plan, _ = dp.optimize(self.suite.context(query), card)
+        return plan
+
+    def execute_ms(
+        self, query: Query, plan: PlanNode, config: IndexConfig,
+        scenario: EngineScenario,
+    ) -> tuple[float, bool]:
+        """Simulated runtime in ms; second element marks a timeout."""
+        engine_cfg = self._engine_config(scenario)
+        ctx = ExecutionContext(
+            self.suite.db, self.suite.design(config), engine_cfg
+        )
+        try:
+            result = execute_plan(plan, query, ctx)
+            return result.simulated_ms, False
+        except WorkBudgetExceeded:
+            return engine_cfg.work_budget / WORK_UNITS_PER_MS, True
+
+    def optimal_runtime(
+        self, query: Query, config: IndexConfig, scenario: EngineScenario
+    ) -> float:
+        """Runtime of the plan optimized with *true* cardinalities."""
+        key = (query.name, config, scenario.name)
+        cached = self._optimal_runtime.get(key)
+        if cached is None:
+            plan = self.plan_for(
+                query, self.suite.true_card(query), config, scenario
+            )
+            cached, _ = self.execute_ms(query, plan, config, scenario)
+            self._optimal_runtime[key] = cached
+        return cached
+
+    def slowdown(
+        self,
+        query: Query,
+        card: BoundCard,
+        config: IndexConfig,
+        scenario: EngineScenario,
+    ) -> tuple[float, bool]:
+        """Runtime ratio vs the true-cardinality plan; flags timeouts."""
+        plan = self.plan_for(query, card, config, scenario)
+        runtime, timed_out = self.execute_ms(query, plan, config, scenario)
+        optimal = self.optimal_runtime(query, config, scenario)
+        return runtime / max(optimal, 1e-9), timed_out

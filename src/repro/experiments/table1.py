@@ -1,0 +1,73 @@
+"""Table 1: q-errors of base-table selection estimates.
+
+For every base-table selection in the workload (the paper counts 629
+across its 113 queries), compare each estimator's selection-size estimate
+with the exact count and report the 50th/90th/95th/100th q-error
+percentiles per estimator.
+
+Expected shape: medians ≈ 1 for all systems; sampling-based estimators
+(DBMS A analogue, HyPer) with much smaller tails than the histogram /
+magic-constant estimators (DBMS B/C analogues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cardinality.qerror import q_error
+from repro.experiments.harness import ESTIMATOR_ORDER, ExperimentSuite
+from repro.experiments.report import format_table
+
+PERCENTILES = (50, 90, 95, 100)
+
+
+@dataclass
+class Table1Result:
+    """Per-estimator q-error percentiles over all base selections."""
+
+    n_selections: int
+    percentiles: dict[str, dict[float, float]]
+    q_errors: dict[str, list[float]] = field(repr=False, default_factory=dict)
+
+    def render(self) -> str:
+        rows = []
+        for name in ESTIMATOR_ORDER:
+            pct = self.percentiles[name]
+            rows.append(
+                [name] + [pct[p] for p in PERCENTILES]
+            )
+        return format_table(
+            ["estimator", "median", "90th", "95th", "max"],
+            rows,
+            title=(
+                f"Table 1: q-errors for {self.n_selections} "
+                "base table selections"
+            ),
+        )
+
+
+def run(suite: ExperimentSuite) -> Table1Result:
+    """Collect base-selection estimates vs exact counts for all estimators."""
+    q_errors: dict[str, list[float]] = {name: [] for name in ESTIMATOR_ORDER}
+    n_selections = 0
+    for query in suite.queries:
+        true_card = suite.true_card(query)
+        for alias in query.selections:
+            subset = query.alias_bit(alias)
+            true_rows = true_card(subset)
+            n_selections += 1
+            for name in ESTIMATOR_ORDER:
+                est_rows = suite.card(name, query)(subset)
+                q_errors[name].append(q_error(est_rows, true_rows))
+    percentiles = {
+        name: {
+            p: float(np.percentile(np.asarray(errors), p))
+            for p in PERCENTILES
+        }
+        for name, errors in q_errors.items()
+    }
+    return Table1Result(
+        n_selections=n_selections, percentiles=percentiles, q_errors=q_errors
+    )

@@ -1,0 +1,89 @@
+"""Table 2: how much do restricted tree shapes cost? (Section 6.2)
+
+Using true cardinalities and the C_mm cost model, compute the optimal
+plan within each restricted shape class (zig-zag, left-deep, right-deep)
+and divide its cost by the unrestricted (bushy) optimum, per index
+configuration.
+
+Expected shape: zig-zag ≈ 1 with a small tail; left-deep slightly worse;
+right-deep dramatically worse, especially with FK indexes (the paper
+reports a worst case of 738349×) — right-deep trees must build hash
+tables from every base relation and can only use an index at the
+bottom-most join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost import SimpleCostModel
+from repro.enumeration.dp import DPEnumerator
+from repro.experiments.harness import ExperimentSuite
+from repro.experiments.report import format_table
+from repro.physical import IndexConfig
+from repro.plans.shapes import TreeShape
+
+SHAPES = (TreeShape.ZIG_ZAG, TreeShape.LEFT_DEEP, TreeShape.RIGHT_DEEP)
+CONFIGS = (IndexConfig.PK, IndexConfig.PK_FK)
+
+
+@dataclass
+class Table2Result:
+    #: slowdowns[config][shape] = per-query cost ratios vs bushy optimum
+    slowdowns: dict[IndexConfig, dict[TreeShape, list[float]]] = field(
+        repr=False
+    )
+
+    def percentile(
+        self, config: IndexConfig, shape: TreeShape, pct: float
+    ) -> float:
+        return float(np.percentile(np.asarray(self.slowdowns[config][shape]), pct))
+
+    def render(self) -> str:
+        rows = []
+        for shape in SHAPES:
+            row = [shape.value]
+            for config in CONFIGS:
+                values = np.asarray(self.slowdowns[config][shape])
+                row += [
+                    float(np.median(values)),
+                    float(np.percentile(values, 95)),
+                    float(values.max()),
+                ]
+            rows.append(row)
+        return format_table(
+            ["shape",
+             "PK median", "PK 95%", "PK max",
+             "PK+FK median", "PK+FK 95%", "PK+FK max"],
+            rows,
+            title="Table 2: slowdown of restricted tree shapes "
+            "(true cardinalities)",
+        )
+
+
+def run(suite: ExperimentSuite) -> Table2Result:
+    cost_model = SimpleCostModel(suite.db)
+    slowdowns: dict[IndexConfig, dict[TreeShape, list[float]]] = {
+        config: {shape: [] for shape in SHAPES} for config in CONFIGS
+    }
+    for config in CONFIGS:
+        design = suite.design(config)
+        bushy_dp = DPEnumerator(cost_model, design, allow_nlj=False)
+        shape_dps = {
+            shape: DPEnumerator(
+                cost_model, design, allow_nlj=False, shape=shape
+            )
+            for shape in SHAPES
+        }
+        for query in suite.queries:
+            ctx = suite.context(query)
+            tcard = suite.true_card(query)
+            _, bushy_cost = bushy_dp.optimize(ctx, tcard)
+            for shape, dp in shape_dps.items():
+                _, cost = dp.optimize(ctx, tcard)
+                slowdowns[config][shape].append(
+                    cost / max(bushy_cost, 1e-9)
+                )
+    return Table2Result(slowdowns=slowdowns)

@@ -1,0 +1,5 @@
+"""Physical database design: index configurations (Sections 4.2–4.3, 6.1)."""
+
+from repro.physical.design import IndexConfig, PhysicalDesign
+
+__all__ = ["IndexConfig", "PhysicalDesign"]

@@ -1,0 +1,14 @@
+"""Physical plan trees and plan-level utilities."""
+
+from repro.plans.plan import JoinNode, PlanNode, ScanNode, annotate_estimates
+from repro.plans.shapes import TreeShape, classify_shape, satisfies_shape
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "JoinNode",
+    "annotate_estimates",
+    "TreeShape",
+    "classify_shape",
+    "satisfies_shape",
+]

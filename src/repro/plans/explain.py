@@ -1,0 +1,84 @@
+"""EXPLAIN ANALYZE-style plan reports.
+
+Renders a physical plan with, per node: the operator, the cardinality the
+optimizer believed (``est``), the exact cardinality (``true``), the
+resulting q-error, and the node's cost under a chosen cost model — the
+diagnostic view the paper's methodology is built on (compare Figure 1's
+component stack).
+"""
+
+from __future__ import annotations
+
+from repro.cardinality.base import BoundCard
+from repro.cardinality.qerror import q_error
+from repro.cost.base import CostModel
+from repro.plans.plan import JoinNode, PlanNode, ScanNode
+from repro.query.query import Query
+
+
+def explain(
+    plan: PlanNode,
+    query: Query,
+    est_card: BoundCard,
+    true_card: BoundCard | None = None,
+    cost_model: CostModel | None = None,
+) -> str:
+    """Multi-line EXPLAIN report for ``plan``.
+
+    ``true_card`` and ``cost_model`` are optional; omitted columns are
+    left out of the report.
+    """
+    lines: list[str] = []
+    _walk(plan, query, est_card, true_card, cost_model, 0, lines)
+    return "\n".join(lines)
+
+
+def _walk(
+    node: PlanNode,
+    query: Query,
+    est_card: BoundCard,
+    true_card: BoundCard | None,
+    cost_model: CostModel | None,
+    depth: int,
+    lines: list[str],
+) -> None:
+    pad = "  " * depth
+    if isinstance(node, ScanNode):
+        label = f"{pad}Scan {node.alias} [{node.table}]"
+        sel = query.selection_of(node.alias)
+        if sel is not None:
+            label += f" filter={sel!r}"
+    else:
+        assert isinstance(node, JoinNode)
+        label = f"{pad}{node.algorithm.upper()} join"
+    est = est_card(node.subset)
+    label += f"  est={est:.0f}"
+    if true_card is not None:
+        true = true_card(node.subset)
+        label += f" true={true:.0f} q-err={q_error(est, true):.1f}"
+    if cost_model is not None:
+        if isinstance(node, ScanNode):
+            cost = cost_model.scan_cost(node, est_card)
+        else:
+            cost = cost_model.join_cost(node, est_card)
+        label += f" cost={cost:.1f}"
+    lines.append(label)
+    for child in node.children():
+        _walk(child, query, est_card, true_card, cost_model, depth + 1, lines)
+
+
+def worst_misestimated_node(
+    plan: PlanNode, est_card: BoundCard, true_card: BoundCard
+) -> tuple[PlanNode, float]:
+    """The plan node with the largest cardinality q-error.
+
+    Useful for diagnosing *why* a plan went wrong — usually an
+    intermediate whose underestimate gated a risky operator choice.
+    """
+    worst: tuple[PlanNode, float] | None = None
+    for node in plan.iter_nodes():
+        err = q_error(est_card(node.subset), true_card(node.subset))
+        if worst is None or err > worst[1]:
+            worst = (node, err)
+    assert worst is not None
+    return worst

@@ -1,0 +1,76 @@
+"""Join-tree shape classification (Section 6.2).
+
+Following the paper (which follows Garcia-Molina et al.):
+
+* **left-deep**: every join's *right* child is a base relation; with hash
+  joins a new hash table is built from each join result.
+* **right-deep**: every join's *left* child is a base relation; hash
+  tables are created from each base relation and probed in a pipeline.
+* **zig-zag**: every join has at least one base-relation child — the
+  superset of left- and right-deep trees.
+* **bushy**: anything goes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.plans.plan import JoinNode, PlanNode, ScanNode
+
+
+class TreeShape(Enum):
+    LEFT_DEEP = "left-deep"
+    RIGHT_DEEP = "right-deep"
+    ZIG_ZAG = "zig-zag"
+    BUSHY = "bushy"
+
+
+def _joins(plan: PlanNode) -> list[JoinNode]:
+    return [n for n in plan.iter_nodes() if isinstance(n, JoinNode)]
+
+
+def classify_shape(plan: PlanNode) -> TreeShape:
+    """The *narrowest* shape class a plan belongs to.
+
+    A single-join plan (both children base relations) is classified as
+    left-deep, the narrowest class containing it.
+    """
+    joins = _joins(plan)
+    left_deep = all(isinstance(j.right, ScanNode) for j in joins)
+    right_deep = all(isinstance(j.left, ScanNode) for j in joins)
+    zig_zag = all(
+        isinstance(j.left, ScanNode) or isinstance(j.right, ScanNode)
+        for j in joins
+    )
+    if left_deep:
+        return TreeShape.LEFT_DEEP
+    if right_deep:
+        return TreeShape.RIGHT_DEEP
+    if zig_zag:
+        return TreeShape.ZIG_ZAG
+    return TreeShape.BUSHY
+
+
+def satisfies_shape(plan: PlanNode, shape: TreeShape) -> bool:
+    """Whether ``plan`` is a member of shape class ``shape`` (inclusive).
+
+    Shape classes nest: left-deep ⊂ zig-zag ⊂ bushy and
+    right-deep ⊂ zig-zag ⊂ bushy.
+    """
+    actual = classify_shape(plan)
+    if shape is TreeShape.BUSHY:
+        return True
+    if shape is TreeShape.ZIG_ZAG:
+        return actual in (
+            TreeShape.LEFT_DEEP,
+            TreeShape.RIGHT_DEEP,
+            TreeShape.ZIG_ZAG,
+        )
+    if shape is TreeShape.LEFT_DEEP:
+        # a single-join plan is both left- and right-deep
+        joins = _joins(plan)
+        return all(isinstance(j.right, ScanNode) for j in joins)
+    if shape is TreeShape.RIGHT_DEEP:
+        joins = _joins(plan)
+        return all(isinstance(j.left, ScanNode) for j in joins)
+    raise ValueError(f"unknown shape {shape!r}")

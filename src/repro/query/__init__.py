@@ -1,0 +1,43 @@
+"""Logical query model: predicates, relations, join edges, join graphs."""
+
+from repro.query.predicates import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    IsNotNull,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.query.query import JoinEdge, Query, Relation
+from repro.query.join_graph import JoinGraph
+from repro.query.subgraphs import (
+    connected_subsets,
+    csg_cmp_pairs,
+    is_connected,
+    SubgraphCatalog,
+)
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "Between",
+    "InList",
+    "Like",
+    "IsNull",
+    "IsNotNull",
+    "And",
+    "Or",
+    "Not",
+    "Relation",
+    "JoinEdge",
+    "Query",
+    "JoinGraph",
+    "is_connected",
+    "connected_subsets",
+    "csg_cmp_pairs",
+    "SubgraphCatalog",
+]

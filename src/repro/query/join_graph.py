@@ -1,0 +1,85 @@
+"""Join graph: bitset adjacency over a query's relations.
+
+The join graph is the object every optimizer component reasons about:
+relation indices are graph vertices, join edges connect them.  Adjacency is
+kept as one neighbourhood bitmask per vertex, which makes connectivity
+tests and neighbourhood expansion O(words) integer operations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.query import JoinEdge, Query
+from repro.util.bitset import bit_indices, bits_of
+
+
+class JoinGraph:
+    """Adjacency view of a :class:`~repro.query.query.Query`'s join edges."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.n = query.n_relations
+        self.neighbor_masks = [0] * self.n
+        #: edges_between[(i, j)] with i < j -> list of JoinEdge
+        self._edges: dict[tuple[int, int], list[JoinEdge]] = {}
+        for edge in query.joins:
+            i = query.alias_index(edge.left_alias)
+            j = query.alias_index(edge.right_alias)
+            if i == j:
+                raise QueryError(f"self-join edge on alias {edge.left_alias!r}")
+            self.neighbor_masks[i] |= 1 << j
+            self.neighbor_masks[j] |= 1 << i
+            key = (min(i, j), max(i, j))
+            self._edges.setdefault(key, []).append(edge)
+
+    # ------------------------------------------------------------------ #
+
+    def neighbors(self, subset: int) -> int:
+        """Bitmask of vertices adjacent to ``subset`` (excluding subset)."""
+        out = 0
+        for bit in bits_of(subset):
+            out |= self.neighbor_masks[bit.bit_length() - 1]
+        return out & ~subset
+
+    def is_connected(self, subset: int) -> bool:
+        """Whether the induced subgraph on ``subset`` is connected."""
+        if subset == 0:
+            return False
+        start = subset & -subset
+        frontier = start
+        reached = start
+        while frontier:
+            frontier = self.neighbors(reached) & subset
+            frontier &= ~reached
+            if not frontier:
+                break
+            reached |= frontier
+        return reached == subset
+
+    def connects(self, a: int, b: int) -> bool:
+        """Whether any join edge crosses between disjoint subsets a and b."""
+        return bool(self.neighbors(a) & b)
+
+    def edges_between(self, a: int, b: int) -> list[JoinEdge]:
+        """All join edges with one endpoint in ``a`` and the other in ``b``."""
+        out: list[JoinEdge] = []
+        for i in bit_indices(a):
+            for j in bit_indices(b):
+                key = (min(i, j), max(i, j))
+                out.extend(self._edges.get(key, []))
+        return out
+
+    def edges_within(self, subset: int) -> list[JoinEdge]:
+        """All join edges with both endpoints inside ``subset``."""
+        idx = bit_indices(subset)
+        out: list[JoinEdge] = []
+        for a_pos, i in enumerate(idx):
+            for j in idx[a_pos + 1 :]:
+                out.extend(self._edges.get((i, j), []))
+        return out
+
+    def degree(self, vertex: int) -> int:
+        return self.neighbor_masks[vertex].bit_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JoinGraph({self.query.name!r}, n={self.n})"

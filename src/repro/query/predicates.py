@@ -1,0 +1,298 @@
+"""Base-table predicate ADT with vectorised evaluation.
+
+The JOB workload (Section 2.2) uses equality and range predicates, IN
+lists, LIKE substring searches, disjunctions and NULL tests on base tables.
+Each predicate knows how to evaluate itself to a boolean mask over a
+:class:`~repro.catalog.table.Table` — the same code path serves the
+executor, the truth oracle, and the sampling-based estimators (which simply
+evaluate on a sampled sub-table).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.catalog.table import Table
+from repro.errors import QueryError
+
+
+class Predicate:
+    """Abstract base: a boolean condition over the rows of one table."""
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Boolean mask of length ``table.n_rows`` (NULL comparisons False)."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns this predicate touches."""
+        raise NotImplementedError
+
+    # conjunction convenience so workload definitions read naturally
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Predicate):
+    """``column <op> constant`` for ``op`` in ``= != < <= > >=``.
+
+    String constants are translated into dictionary codes; because the
+    dictionary is sorted, range comparisons on strings work on codes.  An
+    equality against a string absent from the dictionary matches nothing;
+    range bounds are positioned with ``searchsorted``.
+    """
+
+    def __init__(self, column: str, op: str, value: int | str) -> None:
+        if op not in _OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def _physical_value(self, table: Table) -> tuple[np.ndarray, float]:
+        col = table.column(self.column)
+        if col.kind == "int":
+            if isinstance(self.value, str):
+                raise QueryError(
+                    f"string constant for int column {self.column!r}"
+                )
+            return col.values, float(self.value)
+        if not isinstance(self.value, str):
+            raise QueryError(f"int constant for str column {self.column!r}")
+        code = col.code_for(self.value)
+        if code >= 0:
+            return col.values, float(code)
+        # absent string: position it between codes so ranges stay correct
+        pos = float(np.searchsorted(col.dictionary, self.value))
+        return col.values, pos - 0.5
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        values, phys = self._physical_value(table)
+        col = table.column(self.column)
+        mask = _OPS[self.op](values.astype(np.float64), phys)
+        return mask & ~col.null_mask
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+class Between(Predicate):
+    """``lo <= column <= hi`` (inclusive both ends; ``None`` = open end)."""
+
+    def __init__(self, column: str, lo: int | None, hi: int | None) -> None:
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        if col.kind != "int":
+            raise QueryError(f"BETWEEN on non-int column {self.column!r}")
+        mask = ~col.null_mask
+        if self.lo is not None:
+            mask &= col.values >= self.lo
+        if self.hi is not None:
+            mask &= col.values <= self.hi
+        return mask
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"({self.column} BETWEEN {self.lo} AND {self.hi})"
+
+
+class InList(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    def __init__(self, column: str, values: Sequence[int | str]) -> None:
+        if not values:
+            raise QueryError("empty IN list")
+        self.column = column
+        self.values = list(values)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        if col.kind == "str":
+            codes = [col.code_for(v) for v in self.values if isinstance(v, str)]
+            codes = [c for c in codes if c >= 0]
+            if not codes:
+                return np.zeros(len(col), dtype=bool)
+            return np.isin(col.values, np.asarray(codes, dtype=np.int32))
+        targets = np.asarray([v for v in self.values], dtype=np.int64)
+        return np.isin(col.values, targets) & ~col.null_mask
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"({self.column} IN {self.values!r})"
+
+
+class Like(Predicate):
+    """SQL LIKE with ``%`` and ``_`` wildcards on string columns.
+
+    Evaluated once per *distinct* value on the dictionary and broadcast
+    through the codes, so even substring search stays cheap.
+    """
+
+    def __init__(self, column: str, pattern: str, negate: bool = False) -> None:
+        self.column = column
+        self.pattern = pattern
+        self.negate = negate
+        self._regex = re.compile(_like_to_regex(pattern))
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        if col.kind != "str":
+            raise QueryError(f"LIKE on non-string column {self.column!r}")
+        dict_match = np.fromiter(
+            (bool(self._regex.match(v)) for v in col.dictionary),
+            dtype=bool,
+            count=len(col.dictionary),
+        )
+        if self.negate:
+            dict_match = ~dict_match
+        mask = np.zeros(len(col), dtype=bool)
+        valid = col.values >= 0
+        mask[valid] = dict_match[col.values[valid]]
+        return mask
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        op = "NOT LIKE" if self.negate else "LIKE"
+        return f"({self.column} {op} {self.pattern!r})"
+
+
+class IsNull(Predicate):
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return table.column(self.column).null_mask.copy()
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"({self.column} IS NULL)"
+
+
+class IsNotNull(Predicate):
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return ~table.column(self.column).null_mask
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"({self.column} IS NOT NULL)"
+
+
+class And(Predicate):
+    """Conjunction; flattens nested ANDs for readability."""
+
+    def __init__(self, children: Sequence[Predicate]) -> None:
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise QueryError("empty AND")
+        self.children = flat
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        mask = self.children[0].evaluate(table)
+        for child in self.children[1:]:
+            mask &= child.evaluate(table)
+        return mask
+
+    def columns(self) -> set[str]:
+        return set().union(*(c.columns() for c in self.children))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.children)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction (several JOB variants use OR on base tables)."""
+
+    def __init__(self, children: Sequence[Predicate]) -> None:
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise QueryError("empty OR")
+        self.children = flat
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        mask = self.children[0].evaluate(table)
+        for child in self.children[1:]:
+            mask |= child.evaluate(table)
+        return mask
+
+    def columns(self) -> set[str]:
+        return set().union(*(c.columns() for c in self.children))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.children)) + ")"
+
+
+class Not(Predicate):
+    def __init__(self, child: Predicate) -> None:
+        self.child = child
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        # SQL three-valued logic: NOT over a NULL comparison is still not
+        # TRUE, so NULL rows stay excluded for comparison children.
+        mask = ~self.child.evaluate(table)
+        for column in self.child.columns():
+            mask &= ~table.column(column).null_mask
+        return mask
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+def _like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern into an anchored regular expression."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return "".join(out) + r"\Z"

@@ -1,0 +1,176 @@
+"""Queries: relations (table + alias), base selections and join edges.
+
+A query in this library is exactly the paper's workload shape: one
+select–project–join block — a set of relations, a conjunction of base-table
+selections, and a set of equality join predicates (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Database
+from repro.errors import QueryError
+from repro.query.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class Relation:
+    """One occurrence of a table in a query, under an alias.
+
+    The same table may appear several times (e.g. JOB joins ``info_type``
+    twice as ``it`` and ``it2``), so joins are defined over aliases.
+    """
+
+    alias: str
+    table: str
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equality join predicate ``left_alias.left_col = right_alias.right_col``.
+
+    ``kind`` distinguishes the paper's solid key/foreign-key edges (1:n,
+    ``"pk_fk"``) from dotted foreign-key/foreign-key edges (n:m,
+    ``"fk_fk"``) in Figure 2.  For PK–FK edges, ``pk_side`` names the alias
+    holding the primary key.
+    """
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+    kind: str = "pk_fk"
+    pk_side: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("pk_fk", "fk_fk"):
+            raise QueryError(f"unknown join edge kind {self.kind!r}")
+        if self.kind == "pk_fk" and self.pk_side not in (
+            self.left_alias,
+            self.right_alias,
+        ):
+            raise QueryError(
+                "pk_side must name one of the edge's aliases for pk_fk edges"
+            )
+
+    def aliases(self) -> tuple[str, str]:
+        return (self.left_alias, self.right_alias)
+
+    def side(self, alias: str) -> tuple[str, str]:
+        """``(alias, column)`` for the requested side of the edge."""
+        if alias == self.left_alias:
+            return self.left_alias, self.left_column
+        if alias == self.right_alias:
+            return self.right_alias, self.right_column
+        raise QueryError(f"alias {alias!r} is not part of edge {self!r}")
+
+    def other(self, alias: str) -> tuple[str, str]:
+        """``(alias, column)`` for the opposite side of ``alias``."""
+        if alias == self.left_alias:
+            return self.right_alias, self.right_column
+        if alias == self.right_alias:
+            return self.left_alias, self.left_column
+        raise QueryError(f"alias {alias!r} is not part of edge {self!r}")
+
+
+@dataclass
+class Query:
+    """A select–project–join query over a database.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"13d"`` in the JOB naming scheme.
+    relations:
+        Ordered list of relations; a relation's position is its *bit index*
+        in subset masks used throughout the optimizer.
+    selections:
+        Base-table predicates, keyed by alias (missing alias = no
+        selection).
+    joins:
+        Equality join edges; together with ``relations`` they form the join
+        graph.
+    """
+
+    name: str
+    relations: list[Relation]
+    selections: dict[str, Predicate] = field(default_factory=dict)
+    joins: list[JoinEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        aliases = [r.alias for r in self.relations]
+        if len(set(aliases)) != len(aliases):
+            raise QueryError(f"duplicate aliases in query {self.name!r}")
+        known = set(aliases)
+        for alias in self.selections:
+            if alias not in known:
+                raise QueryError(
+                    f"selection on unknown alias {alias!r} in query {self.name!r}"
+                )
+        for edge in self.joins:
+            for alias in edge.aliases():
+                if alias not in known:
+                    raise QueryError(
+                        f"join edge references unknown alias {alias!r} "
+                        f"in query {self.name!r}"
+                    )
+        self._alias_index = {alias: i for i, alias in enumerate(aliases)}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+    @property
+    def n_joins(self) -> int:
+        """Join count as the paper counts it: relations minus one."""
+        return len(self.relations) - 1
+
+    def alias_bit(self, alias: str) -> int:
+        """Single-bit mask for ``alias``."""
+        try:
+            return 1 << self._alias_index[alias]
+        except KeyError:
+            raise QueryError(f"unknown alias {alias!r}") from None
+
+    def alias_index(self, alias: str) -> int:
+        try:
+            return self._alias_index[alias]
+        except KeyError:
+            raise QueryError(f"unknown alias {alias!r}") from None
+
+    def relation_at(self, index: int) -> Relation:
+        return self.relations[index]
+
+    def relation_for(self, alias: str) -> Relation:
+        return self.relations[self.alias_index(alias)]
+
+    @property
+    def all_mask(self) -> int:
+        return (1 << self.n_relations) - 1
+
+    def selection_of(self, alias: str) -> Predicate | None:
+        return self.selections.get(alias)
+
+    def validate_against(self, db: Database) -> None:
+        """Check that every referenced table/column exists in ``db``."""
+        for rel in self.relations:
+            table = db.table(rel.table)
+            sel = self.selections.get(rel.alias)
+            if sel is not None:
+                for column in sel.columns():
+                    table.column(column)
+        for edge in self.joins:
+            for alias, column in (
+                (edge.left_alias, edge.left_column),
+                (edge.right_alias, edge.right_column),
+            ):
+                db.table(self.relation_for(alias).table).column(column)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Query({self.name!r}, relations={self.n_relations}, "
+            f"joins={len(self.joins)})"
+        )

@@ -1,0 +1,77 @@
+"""Render queries back to SQL text.
+
+The workload is defined programmatically; this module renders any
+:class:`~repro.query.query.Query` as the SELECT–FROM–WHERE block the
+paper prints (Section 2.2), which makes examples and debugging output
+readable and lets the suite double as a generator of JOB-style SQL files.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query import predicates as P
+from repro.query.query import Query
+
+
+def _quote(value: int | str) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def predicate_to_sql(alias: str, pred: P.Predicate) -> str:
+    """Render one base-table predicate with its alias prefix."""
+    if isinstance(pred, P.Comparison):
+        return f"{alias}.{pred.column} {pred.op} {_quote(pred.value)}"
+    if isinstance(pred, P.Between):
+        col = f"{alias}.{pred.column}"
+        if pred.lo is not None and pred.hi is not None:
+            return f"{col} BETWEEN {pred.lo} AND {pred.hi}"
+        if pred.lo is not None:
+            return f"{col} >= {pred.lo}"
+        if pred.hi is not None:
+            return f"{col} <= {pred.hi}"
+        raise QueryError("BETWEEN with both bounds open")
+    if isinstance(pred, P.InList):
+        values = ", ".join(_quote(v) for v in pred.values)
+        return f"{alias}.{pred.column} IN ({values})"
+    if isinstance(pred, P.Like):
+        op = "NOT LIKE" if pred.negate else "LIKE"
+        return f"{alias}.{pred.column} {op} {_quote(pred.pattern)}"
+    if isinstance(pred, P.IsNull):
+        return f"{alias}.{pred.column} IS NULL"
+    if isinstance(pred, P.IsNotNull):
+        return f"{alias}.{pred.column} IS NOT NULL"
+    if isinstance(pred, P.And):
+        return "(" + " AND ".join(
+            predicate_to_sql(alias, c) for c in pred.children
+        ) + ")"
+    if isinstance(pred, P.Or):
+        return "(" + " OR ".join(
+            predicate_to_sql(alias, c) for c in pred.children
+        ) + ")"
+    if isinstance(pred, P.Not):
+        return f"NOT ({predicate_to_sql(alias, pred.child)})"
+    raise QueryError(f"no SQL rendering for predicate {pred!r}")
+
+
+def query_to_sql(query: Query, projection: str = "*") -> str:
+    """The query as a single SELECT–PROJECT–JOIN SQL block."""
+    from_items = ", ".join(
+        f"{rel.table} AS {rel.alias}" for rel in query.relations
+    )
+    conditions: list[str] = []
+    for alias in sorted(query.selections):
+        conditions.append(predicate_to_sql(alias, query.selections[alias]))
+    for edge in query.joins:
+        conditions.append(
+            f"{edge.left_alias}.{edge.left_column} = "
+            f"{edge.right_alias}.{edge.right_column}"
+        )
+    where = "\n  AND ".join(conditions) if conditions else "TRUE"
+    return (
+        f"SELECT {projection}\n"
+        f"FROM {from_items}\n"
+        f"WHERE {where};"
+    )

@@ -1,0 +1,163 @@
+"""Connected-subgraph and csg–cmp-pair enumeration (Moerkotte & Neumann).
+
+Both exhaustive dynamic programming (Section 6) and the exact-cardinality
+oracle (Section 2.4) need the set of *connected* relation subsets of a join
+graph, and DP additionally needs every *csg–cmp pair*: an ordered partition
+``(S1, S2)`` of a connected set into two connected, edge-adjacent halves.
+We implement the classic ``EnumerateCsg`` / ``EnumerateCmp`` algorithms
+from "Analysis of Two Existing and One New Dynamic Programming Algorithm"
+— each connected subgraph and each pair is produced exactly once.
+
+Results are cached per join graph in a :class:`SubgraphCatalog`, because
+the structure depends only on the graph, not on cardinalities or cost
+models; a query optimized under six estimators reuses one catalog.
+"""
+
+from __future__ import annotations
+
+from repro.query.join_graph import JoinGraph
+from repro.util.bitset import bits_of, popcount
+
+
+def is_connected(graph: JoinGraph, subset: int) -> bool:
+    """Convenience re-export of :meth:`JoinGraph.is_connected`."""
+    return graph.is_connected(subset)
+
+
+def _enumerate_csg_rec(
+    graph: JoinGraph, subset: int, exclude: int, out: list[int], max_size: int
+) -> None:
+    if popcount(subset) >= max_size:
+        return
+    neigh = graph.neighbors(subset) & ~exclude
+    if not neigh:
+        return
+    # every non-empty subset of the new neighbourhood extends `subset`
+    extensions = []
+    sub = neigh
+    while sub:
+        if popcount(subset) + popcount(sub) <= max_size:
+            out.append(subset | sub)
+            extensions.append(sub)
+        sub = (sub - 1) & neigh
+    for ext in extensions:
+        _enumerate_csg_rec(graph, subset | ext, exclude | neigh, out, max_size)
+
+
+def connected_subsets(graph: JoinGraph, max_size: int | None = None) -> list[int]:
+    """All connected subsets of the join graph, sorted by size then value.
+
+    ``max_size`` caps the subset cardinality (used by the Figure 3
+    experiment, which only needs subexpressions of up to 7 relations).
+    """
+    cap = max_size if max_size is not None else graph.n
+    out: list[int] = []
+    for i in range(graph.n - 1, -1, -1):
+        single = 1 << i
+        out.append(single)
+        exclude = (single - 1) | single  # vertices with index <= i
+        _enumerate_csg_rec(graph, single, exclude, out, cap)
+    out.sort(key=lambda s: (popcount(s), s))
+    return out
+
+
+def _enumerate_cmp(
+    graph: JoinGraph, s1: int, out: list[tuple[int, int]]
+) -> None:
+    """Emit every complement S2 for csg ``s1`` (EnumerateCmp)."""
+    min_bit = s1 & -s1
+    b_min = (min_bit - 1) | min_bit  # vertices with index <= min(s1)
+    x = b_min | s1
+    neigh = graph.neighbors(s1) & ~x
+    if not neigh:
+        return
+    seeds = sorted((bit for bit in bits_of(neigh)), reverse=True)
+    for seed in seeds:
+        out.append((s1, seed))
+        lower = (seed - 1) | seed
+        exclude = x | (lower & neigh)
+        _collect_cmp_rec(graph, seed, exclude, s1, out)
+
+
+def _collect_cmp_rec(
+    graph: JoinGraph, s2: int, exclude: int, s1: int, out: list[tuple[int, int]]
+) -> None:
+    neigh = graph.neighbors(s2) & ~exclude
+    if not neigh:
+        return
+    extensions = []
+    sub = neigh
+    while sub:
+        out.append((s1, s2 | sub))
+        extensions.append(sub)
+        sub = (sub - 1) & neigh
+    for ext in extensions:
+        _collect_cmp_rec(graph, s2 | ext, exclude | neigh, s1, out)
+
+
+def csg_cmp_pairs(graph: JoinGraph) -> list[tuple[int, int]]:
+    """Every csg–cmp pair ``(S1, S2)``, each unordered pair emitted once.
+
+    Pairs are sorted by the size of ``S1 | S2`` so that a DP loop can
+    process them in order, with both halves already solved.
+    """
+    pairs: list[tuple[int, int]] = []
+    for s1 in connected_subsets(graph):
+        _enumerate_cmp(graph, s1, pairs)
+    pairs.sort(key=lambda p: (popcount(p[0] | p[1]), p[0] | p[1], p[0]))
+    return pairs
+
+
+class SubgraphCatalog:
+    """Cached per-graph subgraph structure shared across optimizer runs.
+
+    Attributes
+    ----------
+    csgs:
+        All connected subsets, sorted by size.
+    pairs:
+        All csg–cmp pairs, sorted by union size.
+    """
+
+    def __init__(self, graph: JoinGraph) -> None:
+        self.graph = graph
+        self.csgs = connected_subsets(graph)
+        self._csg_set = set(self.csgs)
+        self.pairs = csg_cmp_pairs(graph)
+        self._parents: dict[int, tuple[int, int]] = {}
+
+    def is_csg(self, subset: int) -> bool:
+        return subset in self._csg_set
+
+    def expansion_parent(self, subset: int) -> tuple[int, int]:
+        """A pair ``(S', bit)`` with ``S' = subset ^ bit`` connected.
+
+        Every connected graph keeps a connected spanning structure after
+        removing some leaf, so such a decomposition always exists; the
+        truth oracle uses it to build each subexpression's exact result by
+        joining one relation onto an already-materialised smaller result.
+        """
+        cached = self._parents.get(subset)
+        if cached is not None:
+            return cached
+        if popcount(subset) < 2:
+            raise ValueError("expansion parent of a singleton subset")
+        for bit in bits_of(subset):
+            rest = subset ^ bit
+            if self.graph.is_connected(rest) and self.graph.connects(rest, bit):
+                self._parents[subset] = (rest, bit)
+                return rest, bit
+        raise ValueError(f"subset {subset:#x} is not connected")
+
+
+_catalog_cache: dict[int, SubgraphCatalog] = {}
+
+
+def catalog_for(graph: JoinGraph) -> SubgraphCatalog:
+    """Process-wide catalog cache keyed by graph object identity."""
+    key = id(graph)
+    catalog = _catalog_cache.get(key)
+    if catalog is None or catalog.graph is not graph:
+        catalog = SubgraphCatalog(graph)
+        _catalog_cache[key] = catalog
+    return catalog

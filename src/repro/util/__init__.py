@@ -1,0 +1,23 @@
+"""Shared low-level utilities: bitsets, RNG plumbing, formatting."""
+
+from repro.util.bitset import (
+    bit_indices,
+    bits_of,
+    iter_subsets,
+    lowest_bit,
+    popcount,
+    subset_to_names,
+)
+from repro.util.stats import geometric_mean, percentile, quantiles
+
+__all__ = [
+    "bit_indices",
+    "bits_of",
+    "iter_subsets",
+    "lowest_bit",
+    "popcount",
+    "subset_to_names",
+    "geometric_mean",
+    "percentile",
+    "quantiles",
+]

@@ -1,0 +1,57 @@
+"""Bitset helpers.
+
+Relation subsets are represented as Python integers used as bitmasks: bit
+``i`` set means that relation index ``i`` (the position of the relation in
+``Query.relations``) is part of the subset.  This representation makes the
+dynamic-programming join enumeration and the connected-subgraph machinery
+both compact and fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (i.e. number of relations in the subset)."""
+    return mask.bit_count()
+
+
+def lowest_bit(mask: int) -> int:
+    """The lowest set bit of ``mask`` as a mask (e.g. ``0b0110 -> 0b0010``)."""
+    return mask & -mask
+
+
+def bit_indices(mask: int) -> list[int]:
+    """Indices of all set bits, in increasing order."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield each set bit of ``mask`` as a single-bit mask."""
+    while mask:
+        low = mask & -mask
+        yield low
+        mask ^= low
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every non-empty proper subset of ``mask``.
+
+    Uses the standard ``sub = (sub - 1) & mask`` trick, yielding subsets in
+    decreasing numeric order, excluding ``mask`` itself and the empty set.
+    """
+    sub = (mask - 1) & mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+
+
+def subset_to_names(mask: int, names: Sequence[str]) -> list[str]:
+    """Human-readable rendering of a subset mask given per-bit names."""
+    return [names[i] for i in bit_indices(mask)]

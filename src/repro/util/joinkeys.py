@@ -1,0 +1,84 @@
+"""Vectorised multi-column equi-join index computation.
+
+Shared by the execution engine and the exact-cardinality oracle.  Join
+columns in this library are always integer surrogate keys (the paper's
+workload deliberately contains only surrogate-key equality joins,
+Section 2.2), with :data:`~repro.catalog.column.NULL_INT` marking NULL —
+NULL never matches NULL, per SQL semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.catalog.column import NULL_INT
+
+
+def equi_join_indices(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs matching on all key columns.
+
+    ``left_keys[i]`` and ``right_keys[i]`` form the i-th equality
+    condition.  Returns ``(lidx, ridx)`` such that for every output row
+    ``k``: ``left_keys[i][lidx[k]] == right_keys[i][ridx[k]]`` for all i.
+    The result order is deterministic (sorted by right index, then left
+    run order).
+    """
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise ValueError("need the same positive number of key columns per side")
+    n_left = len(left_keys[0])
+    n_right = len(right_keys[0])
+    lvalid = np.ones(n_left, dtype=bool)
+    rvalid = np.ones(n_right, dtype=bool)
+    for lk in left_keys:
+        lvalid &= lk != NULL_INT
+    for rk in right_keys:
+        rvalid &= rk != NULL_INT
+    lids = np.nonzero(lvalid)[0]
+    rids = np.nonzero(rvalid)[0]
+    if len(lids) == 0 or len(rids) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    lcomb = np.zeros(len(lids), dtype=np.int64)
+    rcomb = np.zeros(len(rids), dtype=np.int64)
+    for lk, rk in zip(left_keys, right_keys):
+        both = np.concatenate([lk[lids], rk[rids]])
+        uniq, inv = np.unique(both, return_inverse=True)
+        n = len(uniq)
+        if n and lcomb.max(initial=0) > (2**62) // n:
+            raise OverflowError("composite join key domain too large")
+        lcomb = lcomb * n + inv[: len(lids)]
+        rcomb = rcomb * n + inv[len(lids):]
+
+    order = np.argsort(lcomb, kind="stable")
+    sorted_l = lcomb[order]
+    lo = np.searchsorted(sorted_l, rcomb, side="left")
+    hi = np.searchsorted(sorted_l, rcomb, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    ridx_local = np.repeat(np.arange(len(rcomb), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    run_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+    lidx_local = order[starts + offsets]
+    return lids[lidx_local], rids[ridx_local]
+
+
+def join_match_counts(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Per-right-row match counts against the left side (no expansion).
+
+    Cheaper than :func:`equi_join_indices` when only sizes are needed
+    (e.g. charging index-lookup costs without materialising).
+    """
+    lidx, ridx = equi_join_indices(left_keys, right_keys)
+    counts = np.zeros(len(right_keys[0]), dtype=np.int64)
+    if len(ridx):
+        np.add.at(counts, ridx, 1)
+    return counts

@@ -1,0 +1,39 @@
+"""Small statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (0-100) of ``values`` (linear interpolation).
+
+    Raises ``ValueError`` on an empty input — an experiment asking for a
+    percentile of nothing is a bug upstream, not a value to paper over.
+    """
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), pct))
+
+
+def quantiles(
+    values: Sequence[float], pcts: Sequence[float] = (5, 25, 50, 75, 95)
+) -> dict[float, float]:
+    """Several percentiles at once, as ``{pct: value}``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("quantiles of empty sequence")
+    return {p: float(np.percentile(arr, p)) for p in pcts}
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; every input must be strictly positive."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(math.exp(float(np.mean(np.log(arr)))))

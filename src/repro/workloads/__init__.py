@@ -1,0 +1,12 @@
+"""Workloads: the Join Order Benchmark and the TPC-H comparison queries."""
+
+from repro.workloads.job import JOB_QUERIES, job_queries, job_query
+from repro.workloads.tpch_queries import TPCH_QUERIES, tpch_queries
+
+__all__ = [
+    "JOB_QUERIES",
+    "job_queries",
+    "job_query",
+    "TPCH_QUERIES",
+    "tpch_queries",
+]

@@ -1,0 +1,107 @@
+"""Workload profiling: the Section 2.2 description, computed.
+
+The paper characterises JOB structurally — join counts, join-graph
+shapes, predicate mix, PK–FK vs FK–FK edges.  This module computes that
+profile for any query set, so a user extending the workload (or porting
+it to another schema) can verify the structural properties that make it a
+*join-ordering* benchmark are preserved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.query import predicates as P
+from repro.query.join_graph import JoinGraph
+from repro.query.query import Query
+from repro.query.subgraphs import SubgraphCatalog
+
+
+def _predicate_kinds(pred: P.Predicate) -> list[str]:
+    if isinstance(pred, (P.And, P.Or)):
+        out = []
+        for child in pred.children:
+            out.extend(_predicate_kinds(child))
+        if isinstance(pred, P.Or):
+            out.append("disjunction")
+        return out
+    if isinstance(pred, P.Not):
+        return _predicate_kinds(pred.child)
+    if isinstance(pred, P.Comparison):
+        return ["equality" if pred.op in ("=", "!=") else "range"]
+    if isinstance(pred, P.Between):
+        return ["range"]
+    if isinstance(pred, P.InList):
+        return ["in-list"]
+    if isinstance(pred, P.Like):
+        return ["like"]
+    if isinstance(pred, (P.IsNull, P.IsNotNull)):
+        return ["null-test"]
+    return ["other"]
+
+
+@dataclass
+class WorkloadProfile:
+    """Structural summary of a query set."""
+
+    n_queries: int
+    join_counts: list[int] = field(repr=False, default_factory=list)
+    edge_kinds: Counter = field(default_factory=Counter)
+    predicate_kinds: Counter = field(default_factory=Counter)
+    cyclic_queries: int = 0
+    total_selections: int = 0
+    #: DP search-space size (csg–cmp pairs) per query
+    search_space: list[int] = field(repr=False, default_factory=list)
+
+    @property
+    def mean_joins(self) -> float:
+        return float(np.mean(self.join_counts))
+
+    def render(self) -> str:
+        rows = [
+            ["queries", self.n_queries],
+            ["joins min / mean / max",
+             f"{min(self.join_counts)} / {self.mean_joins:.1f} / "
+             f"{max(self.join_counts)}"],
+            ["base-table selections", self.total_selections],
+            ["PK-FK join edges", self.edge_kinds.get("pk_fk", 0)],
+            ["FK-FK (n:m) join edges", self.edge_kinds.get("fk_fk", 0)],
+            ["cyclic join graphs", self.cyclic_queries],
+            ["median DP search space (ccp pairs)",
+             int(np.median(self.search_space))],
+            ["largest DP search space",
+             int(max(self.search_space))],
+        ]
+        table = format_table(["property", "value"], rows,
+                             title="Workload profile (Section 2.2)")
+        pred_rows = sorted(self.predicate_kinds.items())
+        preds = format_table(
+            ["predicate kind", "count"], pred_rows,
+            title="Selection predicate mix",
+        )
+        return table + "\n\n" + preds
+
+
+def profile_workload(queries: list[Query]) -> WorkloadProfile:
+    """Compute the structural profile of ``queries``."""
+    if not queries:
+        raise ValueError("empty workload")
+    profile = WorkloadProfile(n_queries=len(queries))
+    for query in queries:
+        profile.join_counts.append(query.n_joins)
+        graph = JoinGraph(query)
+        n_edges_spanning = query.n_relations - 1
+        if len(query.joins) > n_edges_spanning:
+            profile.cyclic_queries += 1
+        for edge in query.joins:
+            profile.edge_kinds[edge.kind] += 1
+        for pred in query.selections.values():
+            profile.total_selections += 1
+            for kind in _predicate_kinds(pred):
+                profile.predicate_kinds[kind] += 1
+        profile.search_space.append(len(SubgraphCatalog(graph).pairs))
+    return profile

@@ -1,0 +1,1203 @@
+"""The Join Order Benchmark (JOB) over the synthetic IMDB schema.
+
+Mirrors the paper's workload design (Section 2.2): 33 query *structures*,
+each with 2–6 variants that differ only in their base-table selections,
+totalling exactly 113 queries with 3–12 joins (average ≈ 7.3).  Join graphs
+are the paper's shapes — stars around ``title``, chains through
+``cast_info``/``movie_info``, and dotted FK–FK (n:m) edges arising from
+transitive join predicates (Figure 2), which make several graphs cyclic.
+
+All joins are surrogate-key equalities; variants shift predicate
+selectivities (sometimes by orders of magnitude), so different variants of
+one structure have different optimal plans — exactly the property the
+paper exploits.
+
+Aliases follow the original benchmark: ``t`` title, ``mc``
+movie_companies, ``cn`` company_name, ``ct`` company_type, ``mi``
+movie_info, ``miidx`` movie_info_idx, ``it``/``it2`` info_type, ``kt``
+kind_type, ``ci`` cast_info, ``n`` name, ``chn`` char_name, ``rt``
+role_type, ``mk`` movie_keyword, ``k`` keyword, ``ml`` movie_link, ``lt``
+link_type, ``at`` aka_title, ``an`` aka_name, ``pi`` person_info, ``cc``
+complete_cast, ``cct1``/``cct2`` comp_cast_type.
+"""
+
+from __future__ import annotations
+
+from repro.query.predicates import (
+    Between,
+    Comparison,
+    InList,
+    IsNotNull,
+    IsNull,
+    Like,
+    Predicate,
+)
+from repro.query.query import JoinEdge, Query, Relation
+
+#: primary-key column per IMDB table (all surrogate ``id``)
+_PK_TABLES = {
+    "title", "company_name", "company_type", "info_type", "kind_type",
+    "keyword", "link_type", "role_type", "char_name", "name",
+    "comp_cast_type", "movie_companies", "movie_info", "movie_info_idx",
+    "cast_info", "movie_keyword", "movie_link", "aka_name", "aka_title",
+    "person_info", "complete_cast",
+}
+
+
+def _parse_side(aliases: dict[str, str], spec: str) -> tuple[str, str, str]:
+    alias, column = spec.split(".", 1)
+    return alias, aliases[alias], column
+
+
+def _edge(aliases: dict[str, str], left: str, right: str) -> JoinEdge:
+    """Build a JoinEdge from ``"alias.col"`` specs, inferring PK–FK vs
+    FK–FK: a side whose column is ``id`` on a PK table is the key side."""
+    l_alias, l_table, l_col = _parse_side(aliases, left)
+    r_alias, r_table, r_col = _parse_side(aliases, right)
+    l_pk = l_col == "id" and l_table in _PK_TABLES
+    r_pk = r_col == "id" and r_table in _PK_TABLES
+    if l_pk or r_pk:
+        pk_side = l_alias if l_pk else r_alias
+        return JoinEdge(l_alias, l_col, r_alias, r_col, "pk_fk", pk_side)
+    return JoinEdge(l_alias, l_col, r_alias, r_col, "fk_fk")
+
+
+def _query(
+    number: int,
+    variant: str,
+    aliases: dict[str, str],
+    edges: list[tuple[str, str]],
+    selections: dict[str, Predicate],
+) -> Query:
+    return Query(
+        name=f"{number}{variant}",
+        relations=[Relation(alias, table) for alias, table in aliases.items()],
+        selections=selections,
+        joins=[_edge(aliases, left, right) for left, right in edges],
+    )
+
+
+def C(column: str, op: str, value) -> Comparison:
+    return Comparison(column, op, value)
+
+
+# ------------------------------------------------------------------- #
+# structure definitions
+# ------------------------------------------------------------------- #
+# Each entry: (number, aliases, edges, {variant: {alias: predicate}}).
+# Selections reference values the synthetic IMDB generator produces.
+
+_STRUCTURES: list[
+    tuple[int, dict[str, str], list[tuple[str, str]], dict[str, dict[str, Predicate]]]
+] = []
+
+
+def _structure(number, aliases, edges, variants):
+    _STRUCTURES.append((number, aliases, edges, variants))
+
+
+# -- 1: production companies by rating (5 rels, star + transitive edge) --
+_structure(
+    1,
+    {"t": "title", "mc": "movie_companies", "ct": "company_type",
+     "miidx": "movie_info_idx", "it": "info_type"},
+    [("mc.movie_id", "t.id"), ("ct.id", "mc.company_type_id"),
+     ("miidx.movie_id", "t.id"), ("it.id", "miidx.info_type_id"),
+     ("mc.movie_id", "miidx.movie_id")],
+    {
+        "a": {"ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "top 250 rank"),
+              "mc": Like("note", "%(co-production)%", negate=True)},
+        "b": {"ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "bottom 10 rank"),
+              "mc": Like("note", "%(co-production)%", negate=True)},
+        "c": {"ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "top 250 rank"),
+              "t": C("production_year", ">", 2008)},
+        "d": {"ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "bottom 10 rank"),
+              "t": C("production_year", ">", 1950)},
+    },
+)
+
+# -- 2: keyworded movies of companies from one country (5 rels) --
+_structure(
+    2,
+    {"t": "title", "mc": "movie_companies", "cn": "company_name",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mc.movie_id", "mk.movie_id")],
+    {
+        "a": {"cn": C("country_code", "=", "[de]"),
+              "k": C("keyword", "=", "character-name-in-title")},
+        "b": {"cn": C("country_code", "=", "[nl]"),
+              "k": C("keyword", "=", "character-name-in-title")},
+        "c": {"cn": C("country_code", "=", "[sm]"),
+              "k": C("keyword", "=", "character-name-in-title")},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title")},
+    },
+)
+
+# -- 3: sequels by genre (4 rels) --
+_structure(
+    3,
+    {"t": "title", "mk": "movie_keyword", "k": "keyword", "mi": "movie_info"},
+    [("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mi.movie_id", "t.id")],
+    {
+        "a": {"k": Like("keyword", "%sequel%"),
+              "mi": InList("info", ["Sweden", "Norway", "Germany", "Denmark"]),
+              "t": C("production_year", ">", 2005)},
+        "b": {"k": Like("keyword", "%sequel%"),
+              "mi": InList("info", ["Poland"]),
+              "t": C("production_year", ">", 2005)},
+        "c": {"k": Like("keyword", "%sequel%"),
+              "mi": InList("info", ["Sweden", "Norway", "Germany", "Denmark",
+                                    "USA", "UK"]),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 4: rated sequels (5 rels) --
+_structure(
+    4,
+    {"t": "title", "miidx": "movie_info_idx", "it": "info_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("miidx.movie_id", "t.id"), ("it.id", "miidx.info_type_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id")],
+    {
+        "a": {"it": C("info", "=", "rating"),
+              "k": Like("keyword", "%sequel%"),
+              "miidx": C("info", ">", "5.0"),
+              "t": C("production_year", ">", 2005)},
+        "b": {"it": C("info", "=", "rating"),
+              "k": Like("keyword", "%sequel%"),
+              "miidx": C("info", ">", "9.0"),
+              "t": C("production_year", ">", 2010)},
+        "c": {"it": C("info", "=", "rating"),
+              "k": Like("keyword", "%sequel%"),
+              "miidx": C("info", ">", "2.0"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 5: typical company/info lookup (5 rels) --
+_structure(
+    5,
+    {"t": "title", "mc": "movie_companies", "ct": "company_type",
+     "mi": "movie_info", "it": "info_type"},
+    [("mc.movie_id", "t.id"), ("ct.id", "mc.company_type_id"),
+     ("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id")],
+    {
+        "a": {"ct": C("kind", "=", "production companies"),
+              "mc": Like("note", "%(TV)%"),
+              "mi": InList("info", ["Swedish", "German", "Danish"]),
+              "t": C("production_year", ">", 2005)},
+        "b": {"ct": C("kind", "=", "production companies"),
+              "mc": Like("note", "%(DE)%"),
+              "mi": InList("info", ["German"]),
+              "t": C("production_year", ">", 2008)},
+        "c": {"ct": C("kind", "=", "production companies"),
+              "mi": InList("info", ["English", "German", "French", "Italian"]),
+              "t": C("production_year", ">", 1985)},
+    },
+)
+
+# -- 6: actors in keyworded movies (5 rels) --
+_structure(
+    6,
+    {"t": "title", "ci": "cast_info", "n": "name",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("ci.movie_id", "mk.movie_id")],
+    {
+        "a": {"k": C("keyword", "=", "marvel-comics"),
+              "n": Like("name", "%Smith%"),
+              "t": C("production_year", ">", 2008)},
+        "b": {"k": Like("keyword", "%superhero%"),
+              "n": Like("name", "%Miller%"),
+              "t": C("production_year", ">", 2012)},
+        "c": {"k": C("keyword", "=", "marvel-comics"),
+              "n": Like("name", "%Mueller%"),
+              "t": C("production_year", ">", 2012)},
+        "d": {"k": Like("keyword", "%superhero%"),
+              "n": Like("name", "%Jones%"),
+              "t": C("production_year", ">", 2000)},
+        "e": {"k": Like("keyword", "%murder%"),
+              "n": Like("name", "%Garcia%"),
+              "t": C("production_year", ">", 1995)},
+        "f": {"k": Like("keyword", "%love%"),
+              "n": Like("name", "%Lee%"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 7: biographies and linked movies (8 rels) --
+_structure(
+    7,
+    {"t": "title", "ci": "cast_info", "n": "name", "an": "aka_name",
+     "pi": "person_info", "it": "info_type", "ml": "movie_link",
+     "lt": "link_type"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("an.person_id", "n.id"), ("pi.person_id", "n.id"),
+     ("it.id", "pi.info_type_id"), ("ml.linked_movie_id", "t.id"),
+     ("lt.id", "ml.link_type_id")],
+    {
+        "a": {"it": C("info", "=", "birth notes"),
+              "lt": Like("link", "%follow%"),
+              "n": (C("gender", "=", "m") & Like("name", "%S%")),
+              "t": Between("production_year", 1980, 1995)},
+        "b": {"it": C("info", "=", "birth notes"),
+              "lt": Like("link", "%follow%"),
+              "n": Like("name", "Z%"),
+              "t": Between("production_year", 1980, 1984)},
+        "c": {"it": C("info", "=", "birth notes"),
+              "lt": Like("link", "%follow%"),
+              "n": (C("gender", "=", "f") | Like("name", "B%")),
+              "t": Between("production_year", 1970, 2013)},
+    },
+)
+
+# -- 8: role-typed cast of national productions (7 rels) --
+_structure(
+    8,
+    {"t": "title", "ci": "cast_info", "n": "name", "rt": "role_type",
+     "mc": "movie_companies", "cn": "company_name", "ct": "company_type"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("rt.id", "ci.role_id"), ("mc.movie_id", "t.id"),
+     ("cn.id", "mc.company_id"), ("ct.id", "mc.company_type_id"),
+     ("ci.movie_id", "mc.movie_id")],
+    {
+        "a": {"ci": C("note", "=", "(voice)"),
+              "cn": C("country_code", "=", "[jp]"),
+              "mc": Like("note", "%(JP)%"),
+              "rt": C("role", "=", "actress")},
+        "b": {"ci": C("note", "=", "(voice)"),
+              "cn": C("country_code", "=", "[jp]"),
+              "mc": Like("note", "%(JP)%"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 2005)},
+        "c": {"cn": C("country_code", "=", "[us]"),
+              "rt": C("role", "=", "writer")},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "rt": C("role", "=", "costume designer")},
+    },
+)
+
+# -- 9: voiced characters (7 rels) --
+_structure(
+    9,
+    {"t": "title", "ci": "cast_info", "n": "name", "chn": "char_name",
+     "rt": "role_type", "mc": "movie_companies", "cn": "company_name"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("chn.id", "ci.person_role_id"), ("rt.id", "ci.role_id"),
+     ("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ci.movie_id", "mc.movie_id")],
+    {
+        "a": {"ci": InList("note", ["(voice)", "(uncredited)"]),
+              "cn": C("country_code", "=", "[us]"),
+              "n": (C("gender", "=", "f") & Like("name", "%Ann%")),
+              "rt": C("role", "=", "actress"),
+              "t": Between("production_year", 2005, 2013)},
+        "b": {"ci": C("note", "=", "(voice)"),
+              "cn": C("country_code", "=", "[us]"),
+              "n": (C("gender", "=", "f") & Like("name", "%Ann%")),
+              "rt": C("role", "=", "actress"),
+              "t": Between("production_year", 2007, 2010)},
+        "c": {"ci": C("note", "=", "(voice)"),
+              "cn": C("country_code", "=", "[us]"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress")},
+        "d": {"ci": C("note", "=", "(voice)"),
+              "cn": C("country_code", "=", "[us]"),
+              "rt": C("role", "=", "actress")},
+    },
+)
+
+# -- 10: uncredited character roles (7 rels) --
+_structure(
+    10,
+    {"t": "title", "ci": "cast_info", "chn": "char_name", "rt": "role_type",
+     "mc": "movie_companies", "cn": "company_name", "ct": "company_type"},
+    [("ci.movie_id", "t.id"), ("chn.id", "ci.person_role_id"),
+     ("rt.id", "ci.role_id"), ("mc.movie_id", "t.id"),
+     ("cn.id", "mc.company_id"), ("ct.id", "mc.company_type_id")],
+    {
+        "a": {"ci": Like("note", "%(uncredited)%"),
+              "cn": C("country_code", "=", "[ru]"),
+              "rt": C("role", "=", "actor"),
+              "t": C("production_year", ">", 2005)},
+        "b": {"ci": Like("note", "%(producer)%"),
+              "cn": C("country_code", "=", "[ru]"),
+              "rt": C("role", "=", "actor"),
+              "t": C("production_year", ">", 2000)},
+        "c": {"ci": Like("note", "%(producer)%"),
+              "cn": C("country_code", "=", "[us]"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 11: linked movies of companies (8 rels) --
+_structure(
+    11,
+    {"t": "title", "ml": "movie_link", "lt": "link_type",
+     "mc": "movie_companies", "cn": "company_name", "ct": "company_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("ml.movie_id", "t.id"), ("lt.id", "ml.link_type_id"),
+     ("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id")],
+    {
+        "a": {"cn": (C("country_code", "!=", "[pl]") & Like("name", "%Fox%")),
+              "ct": C("kind", "!=", "production companies"),
+              "k": InList("keyword", ["sequel", "revenge"]),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "t": Between("production_year", 1950, 2013)},
+        "b": {"cn": (C("country_code", "!=", "[pl]") & Like("name", "%Warner%")),
+              "ct": C("kind", "!=", "production companies"),
+              "k": C("keyword", "=", "sequel"),
+              "lt": Like("link", "%follows%"),
+              "mc": IsNull("note"),
+              "t": C("production_year", "=", 2008)},
+        "c": {"cn": (C("country_code", "!=", "[pl]")
+                     & (Like("name", "%Fox%") | Like("name", "%Warner%"))),
+              "ct": C("kind", "!=", "production companies"),
+              "k": InList("keyword", ["sequel", "revenge", "based-on-novel"]),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "t": C("production_year", ">", 1950)},
+        "d": {"cn": C("country_code", "!=", "[pl]"),
+              "ct": C("kind", "!=", "production companies"),
+              "k": InList("keyword", ["sequel", "revenge", "based-on-novel"]),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "t": C("production_year", ">", 1950)},
+    },
+)
+
+# -- 12: two-info-type company queries (8 rels) --
+_structure(
+    12,
+    {"t": "title", "mc": "movie_companies", "cn": "company_name",
+     "ct": "company_type", "mi": "movie_info", "miidx": "movie_info_idx",
+     "it": "info_type", "it2": "info_type"},
+    [("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("mi.movie_id", "t.id"),
+     ("it.id", "mi.info_type_id"), ("miidx.movie_id", "t.id"),
+     ("it2.id", "miidx.info_type_id"), ("mi.movie_id", "miidx.movie_id")],
+    {
+        "a": {"cn": C("country_code", "=", "[us]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "rating"),
+              "mi": InList("info", ["Drama", "Horror"]),
+              "miidx": C("info", ">", "8.0"),
+              "t": Between("production_year", 2000, 2010)},
+        "b": {"cn": C("country_code", "=", "[us]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "budget"),
+              "it2": C("info", "=", "top 250 rank"),
+              "t": C("production_year", ">", 2000)},
+        "c": {"cn": C("country_code", "=", "[us]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "rating"),
+              "mi": InList("info", ["Drama", "Horror", "Western", "Family"]),
+              "miidx": C("info", ">", "6.0"),
+              "t": Between("production_year", 2000, 2010)},
+    },
+)
+
+# -- 13: ratings and release dates of US productions (9 rels; the
+#       paper's running example 13d) --
+_structure(
+    13,
+    {"t": "title", "mc": "movie_companies", "cn": "company_name",
+     "ct": "company_type", "mi": "movie_info", "miidx": "movie_info_idx",
+     "it": "info_type", "it2": "info_type", "kt": "kind_type"},
+    [("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("kt.id", "t.kind_id"),
+     ("mi.movie_id", "t.id"), ("it2.id", "mi.info_type_id"),
+     ("miidx.movie_id", "t.id"), ("it.id", "miidx.info_type_id"),
+     ("mc.movie_id", "mi.movie_id"), ("mc.movie_id", "miidx.movie_id"),
+     ("mi.movie_id", "miidx.movie_id")],
+    {
+        "a": {"cn": C("country_code", "=", "[de]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "rating"),
+              "it2": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie")},
+        "b": {"cn": C("country_code", "=", "[nl]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "rating"),
+              "it2": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie")},
+        "c": {"cn": C("country_code", "=", "[it]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "rating"),
+              "it2": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie")},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "ct": C("kind", "=", "production companies"),
+              "it": C("info", "=", "rating"),
+              "it2": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie")},
+    },
+)
+
+# -- 14: rated genre movies by keyword (8 rels) --
+_structure(
+    14,
+    {"t": "title", "mi": "movie_info", "miidx": "movie_info_idx",
+     "it": "info_type", "it2": "info_type", "kt": "kind_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("miidx.movie_id", "t.id"), ("it2.id", "miidx.info_type_id"),
+     ("kt.id", "t.kind_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id"), ("mi.movie_id", "miidx.movie_id")],
+    {
+        "a": {"it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood", "violence"]),
+              "kt": C("kind", "=", "movie"),
+              "mi": InList("info", ["Sweden", "Norway", "Germany", "Denmark"]),
+              "miidx": C("info", "<", "8.5"),
+              "t": C("production_year", ">", 2005)},
+        "b": {"it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood"]),
+              "kt": C("kind", "=", "movie"),
+              "mi": InList("info", ["Sweden", "Germany"]),
+              "miidx": C("info", ">", "6.0"),
+              "t": C("production_year", ">", 2010)},
+        "c": {"it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood", "violence",
+                                      "revenge"]),
+              "kt": C("kind", "=", "movie"),
+              "mi": InList("info", ["Sweden", "Norway", "Germany", "Denmark",
+                                    "USA", "UK"]),
+              "miidx": C("info", "<", "8.5"),
+              "t": C("production_year", ">", 2005)},
+    },
+)
+
+# -- 15: release dates of web-noted US movies (9 rels) --
+_structure(
+    15,
+    {"t": "title", "mi": "movie_info", "it": "info_type",
+     "mc": "movie_companies", "cn": "company_name", "ct": "company_type",
+     "at": "aka_title", "mk": "movie_keyword", "k": "keyword"},
+    [("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("at.movie_id", "t.id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mc.movie_id", "mi.movie_id")],
+    {
+        "a": {"cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "mc": Like("note", "%(US)%"),
+              "mi": Like("info", "USA:%"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "mc": Like("note", "%(US)%"),
+              "mi": Like("info", "USA:%2008%"),
+              "t": C("production_year", ">", 2005)},
+        "c": {"cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "mi": Like("info", "USA:%"),
+              "t": C("production_year", ">", 1990)},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "t": C("production_year", ">", 1950)},
+    },
+)
+
+# -- 16: aka-names of cast in company movies (8 rels) --
+_structure(
+    16,
+    {"t": "title", "ci": "cast_info", "n": "name", "an": "aka_name",
+     "mc": "movie_companies", "cn": "company_name",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("an.person_id", "n.id"), ("mc.movie_id", "t.id"),
+     ("cn.id", "mc.company_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id"), ("ci.movie_id", "mc.movie_id")],
+    {
+        "a": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "t": Between("episode_nr", 5, 100)},
+        "b": {"cn": C("country_code", "=", "[gb]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "t": Between("episode_nr", 5, 100)},
+        "c": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "t": Between("episode_nr", 1, 1000)},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title")},
+    },
+)
+
+# -- 17: cast by name pattern in US keyworded movies (7 rels) --
+_structure(
+    17,
+    {"t": "title", "ci": "cast_info", "n": "name",
+     "mk": "movie_keyword", "k": "keyword",
+     "mc": "movie_companies", "cn": "company_name"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ci.movie_id", "mc.movie_id"), ("ci.movie_id", "mk.movie_id"),
+     ("mc.movie_id", "mk.movie_id")],
+    {
+        "a": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "n": Like("name", "B%")},
+        "b": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "n": Like("name", "Z%")},
+        "c": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "n": Like("name", "X%")},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "k": C("keyword", "=", "character-name-in-title"),
+              "n": Like("name", "%a%")},
+        "e": {"k": C("keyword", "=", "character-name-in-title"),
+              "n": Like("name", "S%")},
+        "f": {"k": C("keyword", "=", "character-name-in-title"),
+              "n": Like("name", "%Thompson%")},
+    },
+)
+
+# -- 18: two-info movies by gendered producers (7 rels) --
+_structure(
+    18,
+    {"t": "title", "mi": "movie_info", "miidx": "movie_info_idx",
+     "it": "info_type", "it2": "info_type", "ci": "cast_info", "n": "name"},
+    [("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("miidx.movie_id", "t.id"), ("it2.id", "miidx.info_type_id"),
+     ("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("mi.movie_id", "miidx.movie_id"), ("ci.movie_id", "mi.movie_id")],
+    {
+        "a": {"ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "budget"),
+              "it2": C("info", "=", "votes"),
+              "n": (C("gender", "=", "m") & Like("name", "%Tim%"))},
+        "b": {"ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "rating"),
+              "mi": InList("info", ["Horror", "Thriller"]),
+              "miidx": C("info", ">", "8.0"),
+              "n": C("gender", "=", "f"),
+              "t": Between("production_year", 2008, 2013)},
+        "c": {"ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "rating"),
+              "mi": InList("info", ["Horror", "Action", "Sci-Fi", "Thriller",
+                                    "Crime", "War"]),
+              "n": C("gender", "=", "m")},
+    },
+)
+
+# -- 19: voice actresses of US movies with releases (10 rels) --
+_structure(
+    19,
+    {"t": "title", "ci": "cast_info", "n": "name", "an": "aka_name",
+     "mi": "movie_info", "it": "info_type", "mc": "movie_companies",
+     "cn": "company_name", "rt": "role_type", "chn": "char_name"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("an.person_id", "n.id"), ("mi.movie_id", "t.id"),
+     ("it.id", "mi.info_type_id"), ("mc.movie_id", "t.id"),
+     ("cn.id", "mc.company_id"), ("rt.id", "ci.role_id"),
+     ("chn.id", "ci.person_role_id"), ("ci.movie_id", "mc.movie_id"),
+     ("ci.movie_id", "mi.movie_id"), ("mc.movie_id", "mi.movie_id")],
+    {
+        "a": {"ci": InList("note", ["(voice)", "(uncredited)"]),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "mc": IsNotNull("note"),
+              "mi": Like("info", "USA:%"),
+              "n": (C("gender", "=", "f") & Like("name", "%Ann%")),
+              "rt": C("role", "=", "actress"),
+              "t": Between("production_year", 2000, 2010)},
+        "b": {"ci": C("note", "=", "(voice)"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "mc": Like("note", "%(200%)%"),
+              "mi": Like("info", "USA:%"),
+              "n": (C("gender", "=", "f") & Like("name", "%An%")),
+              "rt": C("role", "=", "actress"),
+              "t": Between("production_year", 2007, 2010)},
+        "c": {"ci": InList("note", ["(voice)", "(uncredited)"]),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "mi": Like("info", "USA:%"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 1990)},
+        "d": {"cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 1950)},
+    },
+)
+
+# -- 20: complete cast of superhero movies (10 rels) --
+_structure(
+    20,
+    {"t": "title", "kt": "kind_type", "cc": "complete_cast",
+     "cct1": "comp_cast_type", "cct2": "comp_cast_type",
+     "ci": "cast_info", "chn": "char_name", "n": "name",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("kt.id", "t.kind_id"), ("cc.movie_id", "t.id"),
+     ("cct1.id", "cc.subject_id"), ("cct2.id", "cc.status_id"),
+     ("ci.movie_id", "t.id"), ("chn.id", "ci.person_role_id"),
+     ("n.id", "ci.person_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id"), ("ci.movie_id", "mk.movie_id"),
+     ("ci.movie_id", "cc.movie_id"), ("mk.movie_id", "cc.movie_id")],
+    {
+        "a": {"cct1": C("kind", "=", "cast"),
+              "cct2": Like("kind", "%complete%"),
+              "chn": (Like("name", "%man%") | Like("name", "%Man%")),
+              "k": InList("keyword", ["superhero", "marvel-comics",
+                                      "based-on-novel"]),
+              "kt": C("kind", "=", "movie"),
+              "t": C("production_year", ">", 1950)},
+        "b": {"cct1": C("kind", "=", "cast"),
+              "cct2": Like("kind", "%complete%"),
+              "chn": Like("name", "%Man%"),
+              "k": InList("keyword", ["superhero", "marvel-comics"]),
+              "kt": C("kind", "=", "movie"),
+              "t": C("production_year", ">", 2000)},
+        "c": {"cct1": C("kind", "=", "cast"),
+              "cct2": Like("kind", "%complete%"),
+              "k": InList("keyword", ["superhero", "marvel-comics",
+                                      "based-on-novel", "revenge"]),
+              "kt": C("kind", "=", "movie"),
+              "t": C("production_year", ">", 1950)},
+    },
+)
+
+# -- 21: linked company movies with nordic info (9 rels) --
+_structure(
+    21,
+    {"t": "title", "mc": "movie_companies", "cn": "company_name",
+     "ct": "company_type", "ml": "movie_link", "lt": "link_type",
+     "mi": "movie_info", "mk": "movie_keyword", "k": "keyword"},
+    [("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("ml.movie_id", "t.id"),
+     ("lt.id", "ml.link_type_id"), ("mi.movie_id", "t.id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mc.movie_id", "mi.movie_id"), ("ml.movie_id", "mk.movie_id")],
+    {
+        "a": {"cn": (C("country_code", "!=", "[pl]") & Like("name", "%Fox%")),
+              "k": C("keyword", "=", "sequel"),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "mi": InList("info", ["Sweden", "Norway", "Germany", "Denmark"]),
+              "t": Between("production_year", 1950, 2010)},
+        "b": {"cn": (C("country_code", "!=", "[pl]") & Like("name", "%Warner%")),
+              "k": C("keyword", "=", "sequel"),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "mi": InList("info", ["Germany", "Swedish", "German", "USA",
+                                    "English"]),
+              "t": Between("production_year", 1990, 2013)},
+        "c": {"cn": C("country_code", "!=", "[pl]"),
+              "k": C("keyword", "=", "sequel"),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "mi": InList("info", ["Sweden", "Norway", "Germany", "Denmark",
+                                    "USA", "UK"]),
+              "t": Between("production_year", 1950, 2013)},
+    },
+)
+
+# -- 22: western violent movies by country (11 rels) --
+_structure(
+    22,
+    {"t": "title", "mc": "movie_companies", "cn": "company_name",
+     "ct": "company_type", "mi": "movie_info", "miidx": "movie_info_idx",
+     "it": "info_type", "it2": "info_type", "kt": "kind_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("mi.movie_id", "t.id"),
+     ("it.id", "mi.info_type_id"), ("miidx.movie_id", "t.id"),
+     ("it2.id", "miidx.info_type_id"), ("kt.id", "t.kind_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mi.movie_id", "miidx.movie_id"), ("mk.movie_id", "mi.movie_id"),
+     ("mc.movie_id", "mk.movie_id")],
+    {
+        "a": {"cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood", "violence"]),
+              "kt": InList("kind", ["movie", "episode"]),
+              "mc": Like("note", "%(200%)%"),
+              "mi": InList("info", ["Germany", "Sweden", "Italy", "Japan"]),
+              "miidx": C("info", "<", "7.5"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood"]),
+              "kt": InList("kind", ["movie", "episode"]),
+              "mc": Like("note", "%(200%)%"),
+              "mi": InList("info", ["Germany", "Sweden"]),
+              "miidx": C("info", "<", "7.5"),
+              "t": C("production_year", ">", 2005)},
+        "c": {"cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood", "violence",
+                                      "revenge"]),
+              "kt": InList("kind", ["movie", "episode"]),
+              "mi": InList("info", ["Germany", "Sweden", "Italy", "Japan",
+                                    "USA", "UK"]),
+              "miidx": C("info", "<", "8.5"),
+              "t": C("production_year", ">", 2005)},
+        "d": {"cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "kt": InList("kind", ["movie", "episode"]),
+              "miidx": C("info", "<", "8.5"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 23: complete US kind-typed movies (9 rels) --
+_structure(
+    23,
+    {"t": "title", "kt": "kind_type", "mi": "movie_info", "it": "info_type",
+     "cc": "complete_cast", "cct1": "comp_cast_type",
+     "mc": "movie_companies", "cn": "company_name", "ct": "company_type"},
+    [("kt.id", "t.kind_id"), ("mi.movie_id", "t.id"),
+     ("it.id", "mi.info_type_id"), ("cc.movie_id", "t.id"),
+     ("cct1.id", "cc.status_id"), ("mc.movie_id", "t.id"),
+     ("cn.id", "mc.company_id"), ("ct.id", "mc.company_type_id"),
+     ("mc.movie_id", "mi.movie_id")],
+    {
+        "a": {"cct1": C("kind", "=", "complete+verified"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie"),
+              "mi": Like("info", "USA:%"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"cct1": C("kind", "=", "complete+verified"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie"),
+              "mi": Like("info", "USA:%200%"),
+              "t": C("production_year", ">", 2000)},
+        "c": {"cct1": Like("kind", "complete%"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "kt": InList("kind", ["movie", "tv movie", "video movie"]),
+              "mi": Like("info", "USA:%"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 24: character roles in keyword/genre movies (9 rels) --
+_structure(
+    24,
+    {"t": "title", "ci": "cast_info", "n": "name", "rt": "role_type",
+     "chn": "char_name", "mi": "movie_info", "it": "info_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("rt.id", "ci.role_id"), ("chn.id", "ci.person_role_id"),
+     ("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("ci.movie_id", "mi.movie_id"), ("ci.movie_id", "mk.movie_id"),
+     ("mi.movie_id", "mk.movie_id")],
+    {
+        "a": {"ci": InList("note", ["(voice)", "(uncredited)"]),
+              "it": C("info", "=", "release dates"),
+              "k": InList("keyword", ["hero", "superhero", "revenge"]),
+              "mi": Like("info", "USA:%"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 2010)},
+        "b": {"ci": InList("note", ["(voice)", "(uncredited)"]),
+              "it": C("info", "=", "release dates"),
+              "k": C("keyword", "=", "superhero"),
+              "mi": Like("info", "USA:%"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 2012)},
+    },
+)
+
+# -- 25: gory writer movies (10 rels) --
+_structure(
+    25,
+    {"t": "title", "ci": "cast_info", "n": "name", "rt": "role_type",
+     "mi": "movie_info", "it": "info_type", "miidx": "movie_info_idx",
+     "it2": "info_type", "mk": "movie_keyword", "k": "keyword"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("rt.id", "ci.role_id"), ("mi.movie_id", "t.id"),
+     ("it.id", "mi.info_type_id"), ("miidx.movie_id", "t.id"),
+     ("it2.id", "miidx.info_type_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id"), ("ci.movie_id", "mi.movie_id"),
+     ("ci.movie_id", "mk.movie_id"), ("mi.movie_id", "miidx.movie_id")],
+    {
+        "a": {"it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": C("keyword", "=", "murder"),
+              "mi": C("info", "=", "Horror"),
+              "n": C("gender", "=", "m"),
+              "rt": C("role", "=", "writer")},
+        "b": {"it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "blood"]),
+              "mi": C("info", "=", "Horror"),
+              "n": C("gender", "=", "m"),
+              "rt": C("role", "=", "writer"),
+              "t": C("production_year", ">", 2010)},
+        "c": {"it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "blood", "violence",
+                                      "revenge"]),
+              "mi": InList("info", ["Horror", "Action", "Sci-Fi", "Thriller",
+                                    "Crime", "War"]),
+              "n": C("gender", "=", "m"),
+              "rt": C("role", "=", "writer")},
+    },
+)
+
+# -- 26: complete-cast superhero movies by rating (11 rels) --
+_structure(
+    26,
+    {"t": "title", "kt": "kind_type", "cc": "complete_cast",
+     "cct1": "comp_cast_type", "ci": "cast_info", "chn": "char_name",
+     "n": "name", "miidx": "movie_info_idx", "it": "info_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("kt.id", "t.kind_id"), ("cc.movie_id", "t.id"),
+     ("cct1.id", "cc.subject_id"), ("ci.movie_id", "t.id"),
+     ("chn.id", "ci.person_role_id"), ("n.id", "ci.person_id"),
+     ("miidx.movie_id", "t.id"), ("it.id", "miidx.info_type_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("ci.movie_id", "cc.movie_id"), ("ci.movie_id", "mk.movie_id")],
+    {
+        "a": {"cct1": C("kind", "=", "cast"),
+              "it": C("info", "=", "rating"),
+              "k": InList("keyword", ["superhero", "marvel-comics",
+                                      "based-on-novel"]),
+              "kt": C("kind", "=", "movie"),
+              "miidx": C("info", ">", "7.0"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"cct1": C("kind", "=", "cast"),
+              "it": C("info", "=", "rating"),
+              "k": InList("keyword", ["superhero", "marvel-comics"]),
+              "kt": C("kind", "=", "movie"),
+              "miidx": C("info", ">", "8.0"),
+              "t": C("production_year", ">", 2005)},
+        "c": {"cct1": C("kind", "=", "cast"),
+              "it": C("info", "=", "rating"),
+              "k": InList("keyword", ["superhero", "marvel-comics",
+                                      "based-on-novel", "revenge", "murder"]),
+              "kt": C("kind", "=", "movie"),
+              "miidx": C("info", ">", "2.0")},
+    },
+)
+
+# -- 27: complete linked co-productions (12 rels) --
+_structure(
+    27,
+    {"t": "title", "mc": "movie_companies", "cn": "company_name",
+     "ct": "company_type", "ml": "movie_link", "lt": "link_type",
+     "mi": "movie_info", "cc": "complete_cast", "cct1": "comp_cast_type",
+     "cct2": "comp_cast_type", "mk": "movie_keyword", "k": "keyword"},
+    [("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ct.id", "mc.company_type_id"), ("ml.movie_id", "t.id"),
+     ("lt.id", "ml.link_type_id"), ("mi.movie_id", "t.id"),
+     ("cc.movie_id", "t.id"), ("cct1.id", "cc.subject_id"),
+     ("cct2.id", "cc.status_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id"), ("mc.movie_id", "mi.movie_id"),
+     ("ml.movie_id", "mk.movie_id")],
+    {
+        "a": {"cct1": InList("kind", ["cast", "crew"]),
+              "cct2": C("kind", "=", "complete"),
+              "cn": (C("country_code", "!=", "[pl]") & Like("name", "%Fox%")),
+              "k": C("keyword", "=", "sequel"),
+              "lt": Like("link", "%follow%"),
+              "mc": IsNull("note"),
+              "mi": InList("info", ["Sweden", "Germany", "Swedish", "German",
+                                    "USA", "English"]),
+              "t": Between("production_year", 1950, 2010)},
+        "b": {"cct1": InList("kind", ["cast", "crew"]),
+              "cct2": Like("kind", "complete%"),
+              "cn": (C("country_code", "!=", "[pl]") & Like("name", "%Warner%")),
+              "k": C("keyword", "=", "sequel"),
+              "lt": Like("link", "%follow%"),
+              "mi": InList("info", ["Germany", "German", "USA", "English"]),
+              "t": Between("production_year", 1990, 2013)},
+        "c": {"cct1": InList("kind", ["cast", "crew"]),
+              "cct2": Like("kind", "complete%"),
+              "cn": C("country_code", "!=", "[pl]"),
+              "k": InList("keyword", ["sequel", "revenge"]),
+              "lt": Like("link", "%follow%"),
+              "mi": InList("info", ["Sweden", "Germany", "Swedish", "German",
+                                    "USA", "English"]),
+              "t": Between("production_year", 1950, 2013)},
+    },
+)
+
+# -- 28: complete euro productions by rating (13 rels) --
+_structure(
+    28,
+    {"t": "title", "kt": "kind_type", "cc": "complete_cast",
+     "cct1": "comp_cast_type", "mc": "movie_companies",
+     "cn": "company_name", "ct": "company_type", "mi": "movie_info",
+     "miidx": "movie_info_idx", "it": "info_type", "it2": "info_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("kt.id", "t.kind_id"), ("cc.movie_id", "t.id"),
+     ("cct1.id", "cc.status_id"), ("mc.movie_id", "t.id"),
+     ("cn.id", "mc.company_id"), ("ct.id", "mc.company_type_id"),
+     ("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("miidx.movie_id", "t.id"), ("it2.id", "miidx.info_type_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mi.movie_id", "miidx.movie_id"), ("mc.movie_id", "mk.movie_id")],
+    {
+        "a": {"cct1": Like("kind", "%complete%"),
+              "cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood", "violence"]),
+              "kt": InList("kind", ["movie", "episode"]),
+              "mc": Like("note", "%(200%)%"),
+              "mi": InList("info", ["Sweden", "Germany", "Italy", "Japan"]),
+              "miidx": C("info", "<", "8.5"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"cct1": Like("kind", "%complete%"),
+              "cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood"]),
+              "kt": InList("kind", ["movie", "episode"]),
+              "mi": InList("info", ["Sweden", "Germany"]),
+              "miidx": C("info", ">", "5.0"),
+              "t": C("production_year", ">", 2000)},
+        "c": {"cct1": C("kind", "=", "complete+verified"),
+              "cn": C("country_code", "!=", "[us]"),
+              "it": C("info", "=", "countries"),
+              "it2": C("info", "=", "rating"),
+              "k": InList("keyword", ["murder", "blood", "violence",
+                                      "revenge"]),
+              "kt": InList("kind", ["movie", "episode"]),
+              "mi": InList("info", ["Sweden", "Germany", "Italy", "Japan",
+                                    "USA", "UK"]),
+              "miidx": C("info", "<", "8.5"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 29: complete voiced character roles (13 rels) --
+_structure(
+    29,
+    {"t": "title", "ci": "cast_info", "n": "name", "rt": "role_type",
+     "chn": "char_name", "cc": "complete_cast", "cct1": "comp_cast_type",
+     "mi": "movie_info", "it": "info_type", "mc": "movie_companies",
+     "cn": "company_name", "kt": "kind_type", "mk": "movie_keyword"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("rt.id", "ci.role_id"), ("chn.id", "ci.person_role_id"),
+     ("cc.movie_id", "t.id"), ("cct1.id", "cc.subject_id"),
+     ("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("kt.id", "t.kind_id"), ("mk.movie_id", "t.id"),
+     ("ci.movie_id", "mc.movie_id"), ("ci.movie_id", "mi.movie_id")],
+    {
+        "a": {"ci": C("note", "=", "(voice)"),
+              "cct1": C("kind", "=", "cast"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie"),
+              "mi": Like("info", "USA:%"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"ci": C("note", "=", "(voice)"),
+              "cct1": C("kind", "=", "cast"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie"),
+              "mi": Like("info", "USA:%"),
+              "n": (C("gender", "=", "f") & Like("name", "%An%")),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 2005)},
+        "c": {"ci": InList("note", ["(voice)", "(uncredited)"]),
+              "cct1": C("kind", "=", "cast"),
+              "cn": C("country_code", "=", "[us]"),
+              "it": C("info", "=", "release dates"),
+              "kt": C("kind", "=", "movie"),
+              "n": C("gender", "=", "f"),
+              "rt": C("role", "=", "actress"),
+              "t": C("production_year", ">", 1990)},
+    },
+)
+
+# -- 30: complete gory movies of male writers (12 rels) --
+_structure(
+    30,
+    {"t": "title", "ci": "cast_info", "n": "name", "mi": "movie_info",
+     "miidx": "movie_info_idx", "it": "info_type", "it2": "info_type",
+     "cc": "complete_cast", "cct1": "comp_cast_type",
+     "cct2": "comp_cast_type", "mk": "movie_keyword", "k": "keyword"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("miidx.movie_id", "t.id"), ("it2.id", "miidx.info_type_id"),
+     ("cc.movie_id", "t.id"), ("cct1.id", "cc.subject_id"),
+     ("cct2.id", "cc.status_id"), ("mk.movie_id", "t.id"),
+     ("k.id", "mk.keyword_id"), ("ci.movie_id", "mi.movie_id"),
+     ("mi.movie_id", "miidx.movie_id")],
+    {
+        "a": {"cct1": InList("kind", ["cast", "crew"]),
+              "cct2": Like("kind", "complete%"),
+              "ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "violence", "blood"]),
+              "mi": InList("info", ["Horror", "Thriller"]),
+              "n": C("gender", "=", "m"),
+              "t": C("production_year", ">", 2000)},
+        "b": {"cct1": InList("kind", ["cast", "crew"]),
+              "cct2": Like("kind", "complete%"),
+              "ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "violence"]),
+              "mi": InList("info", ["Horror", "Thriller", "Crime"]),
+              "n": C("gender", "=", "m"),
+              "t": C("production_year", ">", 2005)},
+        "c": {"cct1": InList("kind", ["cast", "crew"]),
+              "cct2": Like("kind", "complete%"),
+              "ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "violence", "blood",
+                                      "revenge"]),
+              "mi": InList("info", ["Horror", "Action", "Sci-Fi", "Thriller",
+                                    "Crime", "War"]),
+              "n": C("gender", "=", "m")},
+    },
+)
+
+# -- 31: gory movies by studio (11 rels) --
+_structure(
+    31,
+    {"t": "title", "ci": "cast_info", "n": "name", "mi": "movie_info",
+     "miidx": "movie_info_idx", "it": "info_type", "it2": "info_type",
+     "mk": "movie_keyword", "k": "keyword", "mc": "movie_companies",
+     "cn": "company_name"},
+    [("ci.movie_id", "t.id"), ("n.id", "ci.person_id"),
+     ("mi.movie_id", "t.id"), ("it.id", "mi.info_type_id"),
+     ("miidx.movie_id", "t.id"), ("it2.id", "miidx.info_type_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id"),
+     ("mc.movie_id", "t.id"), ("cn.id", "mc.company_id"),
+     ("ci.movie_id", "mi.movie_id"), ("ci.movie_id", "mk.movie_id"),
+     ("mc.movie_id", "miidx.movie_id")],
+    {
+        "a": {"ci": InList("note", ["(producer)", "(executive producer)"]),
+              "cn": Like("name", "Lion%"),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "violence", "blood"]),
+              "mi": InList("info", ["Horror", "Thriller"]),
+              "n": C("gender", "=", "m")},
+        "b": {"ci": InList("note", ["(producer)", "(executive producer)"]),
+              "cn": Like("name", "Lion%"),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "violence"]),
+              "mi": InList("info", ["Horror", "Thriller", "Crime"]),
+              "n": C("gender", "=", "m")},
+        "c": {"ci": InList("note", ["(producer)", "(executive producer)"]),
+              "it": C("info", "=", "genres"),
+              "it2": C("info", "=", "votes"),
+              "k": InList("keyword", ["murder", "violence", "blood",
+                                      "revenge"]),
+              "mi": InList("info", ["Horror", "Action", "Sci-Fi", "Thriller",
+                                    "Crime", "War"]),
+              "n": C("gender", "=", "m")},
+    },
+)
+
+# -- 32: linked keyword movies (5 rels) --
+_structure(
+    32,
+    {"t": "title", "ml": "movie_link", "lt": "link_type",
+     "mk": "movie_keyword", "k": "keyword"},
+    [("ml.movie_id", "t.id"), ("lt.id", "ml.link_type_id"),
+     ("mk.movie_id", "t.id"), ("k.id", "mk.keyword_id")],
+    {
+        "a": {"k": C("keyword", "=", "character-name-in-title")},
+        "b": {"k": InList("keyword", ["character-name-in-title", "sequel"])},
+    },
+)
+
+# -- 33: linked tv-series pairs by rating (10 rels; title self-join) --
+_structure(
+    33,
+    {"t1": "title", "t2": "title", "ml": "movie_link", "lt": "link_type",
+     "miidx1": "movie_info_idx", "miidx2": "movie_info_idx",
+     "it": "info_type", "it2": "info_type", "kt1": "kind_type",
+     "kt2": "kind_type"},
+    [("ml.movie_id", "t1.id"), ("ml.linked_movie_id", "t2.id"),
+     ("lt.id", "ml.link_type_id"), ("miidx1.movie_id", "t1.id"),
+     ("it.id", "miidx1.info_type_id"), ("miidx2.movie_id", "t2.id"),
+     ("it2.id", "miidx2.info_type_id"), ("kt1.id", "t1.kind_id"),
+     ("kt2.id", "t2.kind_id")],
+    {
+        "a": {"it": C("info", "=", "rating"),
+              "it2": C("info", "=", "rating"),
+              "kt1": InList("kind", ["tv series", "movie"]),
+              "kt2": InList("kind", ["tv series", "movie"]),
+              "lt": InList("link", ["sequel", "follows", "followed by"]),
+              "miidx2": C("info", "<", "5.0"),
+              "t2": Between("production_year", 2000, 2010)},
+        "b": {"it": C("info", "=", "rating"),
+              "it2": C("info", "=", "rating"),
+              "kt1": InList("kind", ["tv series", "movie"]),
+              "kt2": InList("kind", ["tv series", "movie"]),
+              "lt": InList("link", ["sequel", "follows", "followed by"]),
+              "miidx2": C("info", "<", "4.0"),
+              "t2": Between("production_year", 2005, 2010)},
+        "c": {"it": C("info", "=", "rating"),
+              "it2": C("info", "=", "rating"),
+              "kt1": InList("kind", ["tv series", "episode", "movie"]),
+              "kt2": InList("kind", ["tv series", "episode", "movie"]),
+              "lt": InList("link", ["sequel", "follows", "followed by",
+                                    "references"]),
+              "miidx2": C("info", "<", "5.5"),
+              "t2": Between("production_year", 1995, 2013)},
+    },
+)
+
+
+def _build_all() -> dict[str, Query]:
+    queries: dict[str, Query] = {}
+    for number, aliases, edges, variants in _STRUCTURES:
+        for variant, selections in variants.items():
+            query = _query(number, variant, aliases, edges, selections)
+            queries[query.name] = query
+    return queries
+
+
+#: every JOB query keyed by name ("1a" ... "33c")
+JOB_QUERIES: dict[str, Query] = _build_all()
+
+
+def job_queries() -> list[Query]:
+    """All 113 JOB queries, ordered by structure then variant."""
+    return list(JOB_QUERIES.values())
+
+
+def job_query(name: str) -> Query:
+    """Look up a single query, e.g. ``job_query("13d")``."""
+    return JOB_QUERIES[name]

@@ -1,0 +1,104 @@
+"""Join structures of TPC-H queries 5, 8 and 10 (Figure 4).
+
+The paper contrasts PostgreSQL's estimation errors on three of the larger
+TPC-H queries with four JOB queries.  Only the join structure and the
+selections matter for cardinality estimation, so the queries are modelled
+as SPJ blocks (the paper itself strips aggregation from JOB for the same
+reason).
+"""
+
+from __future__ import annotations
+
+from repro.query.predicates import Between, Comparison
+from repro.query.query import JoinEdge, Query, Relation
+
+#: primary key column per TPC-H table (non-uniform names, unlike IMDB)
+_TPCH_PK = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "orders": "o_orderkey",
+    "part": "p_partkey",
+    "partsupp": "ps_id",
+    "lineitem": "l_id",
+}
+
+
+def _edge(aliases: dict[str, str], left: str, right: str) -> JoinEdge:
+    l_alias, l_col = left.split(".", 1)
+    r_alias, r_col = right.split(".", 1)
+    l_pk = _TPCH_PK[aliases[l_alias]] == l_col
+    r_pk = _TPCH_PK[aliases[r_alias]] == r_col
+    if l_pk or r_pk:
+        pk_side = l_alias if l_pk else r_alias
+        return JoinEdge(l_alias, l_col, r_alias, r_col, "pk_fk", pk_side)
+    return JoinEdge(l_alias, l_col, r_alias, r_col, "fk_fk")
+
+
+def _query(name, aliases, edges, selections) -> Query:
+    return Query(
+        name=name,
+        relations=[Relation(a, t) for a, t in aliases.items()],
+        selections=selections,
+        joins=[_edge(aliases, l, r) for l, r in edges],
+    )
+
+
+def _build() -> dict[str, Query]:
+    queries = {}
+
+    # Q5: local supplier volume — 6-way join region..lineitem
+    aliases = {"c": "customer", "o": "orders", "l": "lineitem",
+               "s": "supplier", "n": "nation", "r": "region"}
+    queries["tpch5"] = _query(
+        "tpch5",
+        aliases,
+        [("o.o_custkey", "c.c_custkey"), ("l.l_orderkey", "o.o_orderkey"),
+         ("l.l_suppkey", "s.s_suppkey"), ("c.c_nationkey", "s.s_nationkey"),
+         ("s.s_nationkey", "n.n_nationkey"), ("n.n_regionkey", "r.r_regionkey")],
+        {
+            "r": Comparison("r_name", "=", "ASIA"),
+            "o": Between("o_orderyear", 1994, 1994),
+        },
+    )
+
+    # Q8: national market share — 8-way join with two nation roles
+    aliases = {"p": "part", "s": "supplier", "l": "lineitem", "o": "orders",
+               "c": "customer", "n1": "nation", "n2": "nation", "r": "region"}
+    queries["tpch8"] = _query(
+        "tpch8",
+        aliases,
+        [("l.l_partkey", "p.p_partkey"), ("l.l_suppkey", "s.s_suppkey"),
+         ("l.l_orderkey", "o.o_orderkey"), ("o.o_custkey", "c.c_custkey"),
+         ("c.c_nationkey", "n1.n_nationkey"),
+         ("n1.n_regionkey", "r.r_regionkey"),
+         ("s.s_nationkey", "n2.n_nationkey")],
+        {
+            "r": Comparison("r_name", "=", "AMERICA"),
+            "p": Comparison("p_type", "=", "ECONOMY ANODIZED STEEL"),
+            "o": Between("o_orderyear", 1995, 1996),
+        },
+    )
+
+    # Q10: returned item reporting — 4-way join
+    aliases = {"c": "customer", "o": "orders", "l": "lineitem", "n": "nation"}
+    queries["tpch10"] = _query(
+        "tpch10",
+        aliases,
+        [("o.o_custkey", "c.c_custkey"), ("l.l_orderkey", "o.o_orderkey"),
+         ("c.c_nationkey", "n.n_nationkey")],
+        {
+            "o": Between("o_orderyear", 1993, 1994),
+            "l": Comparison("l_shipmode", "=", "AIR"),
+        },
+    )
+    return queries
+
+
+#: the three TPC-H comparison queries keyed by name
+TPCH_QUERIES: dict[str, Query] = _build()
+
+
+def tpch_queries() -> list[Query]:
+    return list(TPCH_QUERIES.values())

@@ -1,0 +1,84 @@
+"""Shared fixtures: tiny databases and suites, built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.column import Column
+from repro.catalog.schema import Database, ForeignKey
+from repro.catalog.statistics import analyze_database
+from repro.catalog.table import Table
+from repro.datagen import generate_imdb, generate_tpch
+from repro.experiments import ExperimentSuite
+
+
+@pytest.fixture(scope="session")
+def imdb_tiny() -> Database:
+    return generate_imdb("tiny", seed=42)
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny() -> Database:
+    return generate_tpch("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def suite_tiny() -> ExperimentSuite:
+    """A suite over a representative subset of JOB queries (kept small so
+    the whole test run stays fast)."""
+    return ExperimentSuite(
+        scale="tiny",
+        query_names=[
+            "1a", "2a", "4a", "5c", "6a", "13a", "13d", "16d", "17b",
+            "25c", "32a",
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_db() -> Database:
+    """A tiny hand-built 3-table star schema with exactly known contents.
+
+    ``fact`` references ``dim_a`` and ``dim_b``; every cardinality is
+    computable by hand, which the truth-oracle and executor tests rely on.
+    """
+    db = Database("toy")
+    db.add_table(
+        Table(
+            "dim_a",
+            [
+                Column("id", np.arange(1, 6)),  # 5 rows
+                Column("color", ["red", "red", "blue", "green", "blue"],
+                       kind="str"),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_table(
+        Table(
+            "dim_b",
+            [
+                Column("id", np.arange(1, 4)),  # 3 rows
+                Column("size", np.array([10, 20, 30])),
+            ],
+            primary_key="id",
+        )
+    )
+    # fact: 8 rows; a_id fan-out: 1->3, 2->2, 3->1, 4->1, 5->1
+    db.add_table(
+        Table(
+            "fact",
+            [
+                Column("id", np.arange(1, 9)),
+                Column("a_id", np.array([1, 1, 1, 2, 2, 3, 4, 5])),
+                Column("b_id", np.array([1, 2, 3, 1, 2, 1, 1, 3])),
+                Column("value", np.array([7, 7, 8, 9, 7, 8, 9, 7])),
+            ],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key(ForeignKey("fact", "a_id", "dim_a", "id"))
+    db.add_foreign_key(ForeignKey("fact", "b_id", "dim_b", "id"))
+    analyze_database(db, sample_size=100)
+    return db

@@ -1,0 +1,66 @@
+"""Unit and property tests for bitset helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    bit_indices,
+    bits_of,
+    iter_subsets,
+    lowest_bit,
+    popcount,
+    subset_to_names,
+)
+
+
+def test_popcount_basic():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount(1 << 40) == 1
+
+
+def test_lowest_bit():
+    assert lowest_bit(0b0110) == 0b0010
+    assert lowest_bit(0b1000) == 0b1000
+    assert lowest_bit(1) == 1
+
+
+def test_bit_indices_order():
+    assert bit_indices(0b101001) == [0, 3, 5]
+    assert bit_indices(0) == []
+
+
+def test_bits_of_roundtrip():
+    mask = 0b110101
+    parts = list(bits_of(mask))
+    assert all(popcount(p) == 1 for p in parts)
+    combined = 0
+    for p in parts:
+        combined |= p
+    assert combined == mask
+
+
+def test_iter_subsets_small():
+    subs = set(iter_subsets(0b101))
+    assert subs == {0b100, 0b001}
+
+
+def test_subset_to_names():
+    assert subset_to_names(0b101, ["a", "b", "c"]) == ["a", "c"]
+
+
+@given(st.integers(min_value=1, max_value=(1 << 12) - 1))
+def test_iter_subsets_properties(mask):
+    seen = set()
+    for sub in iter_subsets(mask):
+        assert sub != 0 and sub != mask
+        assert sub & mask == sub, "every subset stays inside the mask"
+        assert sub not in seen, "no duplicates"
+        seen.add(sub)
+    assert len(seen) == 2 ** popcount(mask) - 2
+
+
+@given(st.integers(min_value=1, max_value=1 << 30))
+def test_lowest_bit_and_indices_agree(mask):
+    assert lowest_bit(mask) == 1 << bit_indices(mask)[0]
+    assert popcount(mask) == len(bit_indices(mask))

@@ -1,0 +1,96 @@
+"""Tests for the dictionary-encoded column representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.column import NULL_INT, Column
+from repro.errors import CatalogError
+
+
+def test_int_column_basics():
+    col = Column("x", [3, 1, 2])
+    assert len(col) == 3
+    assert col.kind == "int"
+    assert list(col.decoded()) == [3, 1, 2]
+    assert col.distinct_count() == 3
+    assert col.null_fraction == 0.0
+
+
+def test_int_column_nulls():
+    col = Column("x", [3, 1, 2, 9], nulls=np.array([False, True, False, True]))
+    assert col.null_mask.tolist() == [False, True, False, True]
+    assert col.null_fraction == 0.5
+    assert col.distinct_count() == 2  # only 3 and 2 remain
+
+
+def test_str_column_encoding_sorted():
+    col = Column("s", ["pear", "apple", "pear", None], kind="str")
+    assert col.kind == "str"
+    # dictionary is sorted -> code order == lexicographic order
+    assert list(col.dictionary) == ["apple", "pear"]
+    assert col.values.tolist() == [1, 0, 1, -1]
+    assert col.null_mask.tolist() == [False, False, False, True]
+    assert col.distinct_count() == 2
+
+
+def test_str_column_decoded():
+    col = Column("s", ["b", None, "a"], kind="str")
+    assert list(col.decoded()) == ["b", None, "a"]
+    assert list(col.decoded(np.array([2, 0]))) == ["a", "b"]
+
+
+def test_code_for():
+    col = Column("s", ["x", "y"], kind="str")
+    assert col.code_for("x") == 0
+    assert col.code_for("y") == 1
+    assert col.code_for("zzz") == -1
+
+
+def test_code_for_on_int_column_raises():
+    with pytest.raises(CatalogError):
+        Column("x", [1]).code_for("a")
+
+
+def test_take_preserves_dictionary():
+    col = Column("s", ["a", "b", "a"], kind="str")
+    sub = col.take(np.array([0, 2]))
+    assert list(sub.decoded()) == ["a", "a"]
+    assert sub.dictionary is col.dictionary
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(CatalogError):
+        Column("x", [1], kind="float")
+
+
+def test_predecoded_codes_validated():
+    with pytest.raises(CatalogError):
+        Column("s", [5], kind="str", dictionary=np.array(["a"], dtype=object))
+
+
+@given(
+    st.lists(
+        st.one_of(st.none(), st.text(min_size=0, max_size=6)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_string_roundtrip(values):
+    col = Column("s", values, kind="str")
+    assert list(col.decoded()) == values
+    non_null = {v for v in values if v is not None}
+    assert col.distinct_count() == len(non_null)
+
+
+@given(st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=50))
+def test_int_roundtrip(values):
+    col = Column("x", values)
+    assert col.values.tolist() == values
+    assert col.distinct_count() == len(set(values))
+
+
+def test_null_sentinel_counts_as_null():
+    col = Column("x", [NULL_INT, 5])
+    assert col.null_mask.tolist() == [True, False]

@@ -1,0 +1,183 @@
+"""Synthetic data generators: schema, integrity, determinism, correlation."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.column import NULL_INT
+from repro.datagen import generate_imdb, generate_tpch
+from repro.datagen.distributions import (
+    correlated_choice,
+    heavy_tail_counts,
+    pareto_popularity,
+    sample_zipf,
+    zipf_weights,
+)
+
+IMDB_TABLES = {
+    "title", "kind_type", "info_type", "company_type", "role_type",
+    "link_type", "comp_cast_type", "company_name", "name", "char_name",
+    "keyword", "movie_companies", "movie_info", "movie_info_idx",
+    "cast_info", "movie_keyword", "movie_link", "aka_name", "aka_title",
+    "person_info", "complete_cast",
+}
+
+
+class TestDistributions:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        w = zipf_weights(10, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(9))
+
+    def test_zipf_weights_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_sample_zipf_range(self):
+        rng = np.random.default_rng(0)
+        s = sample_zipf(rng, 5, 1000, a=1.1)
+        assert s.min() >= 0 and s.max() < 5
+        counts = np.bincount(s, minlength=5)
+        assert counts[0] > counts[4], "rank skew"
+
+    def test_correlated_choice_strength(self):
+        rng = np.random.default_rng(0)
+        preferred = np.zeros(5000, dtype=np.int64)
+        strong = correlated_choice(rng, preferred, 20, correlation=0.9)
+        weak = correlated_choice(rng, preferred, 20, correlation=0.1)
+        assert (strong == 0).mean() > (weak == 0).mean()
+
+    def test_correlated_choice_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            correlated_choice(rng, np.zeros(3, dtype=np.int64), 5, 1.5)
+
+    def test_heavy_tail_counts_capped(self):
+        rng = np.random.default_rng(0)
+        pop = pareto_popularity(rng, 1000)
+        counts = heavy_tail_counts(rng, pop, mean=3.0, cap=10)
+        assert counts.max() <= 10
+        assert counts.min() >= 0
+        assert 1.0 < counts.mean() < 6.0
+
+
+class TestImdb:
+    def test_all_21_tables(self, imdb_tiny):
+        assert set(imdb_tiny.tables) == IMDB_TABLES
+        assert len(IMDB_TABLES) == 21
+
+    def test_deterministic(self):
+        a = generate_imdb("tiny", seed=11, analyze=False)
+        b = generate_imdb("tiny", seed=11, analyze=False)
+        for name in a.tables:
+            ta, tb = a.table(name), b.table(name)
+            assert ta.n_rows == tb.n_rows
+            for col in ta.columns:
+                assert np.array_equal(
+                    ta.column(col).values, tb.column(col).values
+                ), f"{name}.{col}"
+
+    def test_seeds_differ(self):
+        a = generate_imdb("tiny", seed=1, analyze=False)
+        b = generate_imdb("tiny", seed=2, analyze=False)
+        assert not np.array_equal(
+            a.table("cast_info").column("person_id").values,
+            b.table("cast_info").column("person_id").values,
+        )
+
+    def test_fk_integrity(self, imdb_tiny):
+        for fk in imdb_tiny.foreign_keys:
+            child = imdb_tiny.table(fk.table).column(fk.column)
+            parent = imdb_tiny.table(fk.ref_table).column(fk.ref_column)
+            values = child.values[child.values != NULL_INT]
+            parent_keys = set(parent.values.tolist())
+            assert set(values.tolist()) <= parent_keys, (
+                f"dangling {fk.table}.{fk.column}"
+            )
+
+    def test_pk_uniqueness(self, imdb_tiny):
+        for table in imdb_tiny.tables.values():
+            if table.primary_key:
+                vals = table.column(table.primary_key).values
+                assert len(np.unique(vals)) == len(vals), table.name
+
+    def test_statistics_present(self, imdb_tiny):
+        assert set(imdb_tiny.statistics) == IMDB_TABLES
+
+    def test_info_type_has_113_rows(self, imdb_tiny):
+        assert imdb_tiny.table("info_type").n_rows == 113
+
+    def test_scale_ordering(self):
+        tiny = generate_imdb("tiny", analyze=False)
+        small = generate_imdb("small", analyze=False)
+        assert small.total_rows > tiny.total_rows
+
+    def test_join_crossing_correlation_present(self):
+        """Company country should track the movie's latent country far
+        beyond independence: measure P(company is [us] | title has a
+        USA 'countries' info row) vs the base rate."""
+        db = generate_imdb("small", seed=42, correlation=0.8, analyze=False)
+        mi = db.table("movie_info")
+        usa_code = mi.column("info").code_for("USA")
+        countries_rows = mi.column("info_type_id").values == 4
+        usa_movies = set(
+            mi.column("movie_id").values[
+                countries_rows & (mi.column("info").values == usa_code)
+            ].tolist()
+        )
+        mc = db.table("movie_companies")
+        cn = db.table("company_name")
+        us_cc = cn.column("country_code").code_for("[us]")
+        company_is_us = cn.column("country_code").values == us_cc
+        mc_company_us = company_is_us[mc.column("company_id").values - 1]
+        in_usa_movie = np.fromiter(
+            (m in usa_movies for m in mc.column("movie_id").values),
+            dtype=bool,
+            count=mc.n_rows,
+        )
+        p_given = mc_company_us[in_usa_movie].mean()
+        p_base = mc_company_us.mean()
+        assert p_given > p_base * 1.3, (p_given, p_base)
+
+    def test_correlation_knob_zero_weakens(self):
+        corr = generate_imdb("tiny", seed=1, correlation=0.8, analyze=False)
+        indep = generate_imdb("tiny", seed=1, correlation=0.0, analyze=False)
+        # the knob must change the data deterministically
+        assert not np.array_equal(
+            corr.table("movie_companies").column("company_id").values,
+            indep.table("movie_companies").column("company_id").values,
+        )
+
+    def test_ratings_are_fixed_format(self, imdb_tiny):
+        mii = imdb_tiny.table("movie_info_idx")
+        rating_rows = mii.column("info_type_id").values == 1
+        infos = mii.column("info").decoded()[rating_rows]
+        assert all(len(s) == 3 and s[1] == "." for s in infos)
+
+
+class TestTpch:
+    def test_tables(self, tpch_tiny):
+        assert set(tpch_tiny.tables) == {
+            "region", "nation", "supplier", "customer", "orders",
+            "lineitem", "part", "partsupp",
+        }
+
+    def test_fk_integrity(self, tpch_tiny):
+        for fk in tpch_tiny.foreign_keys:
+            child = tpch_tiny.table(fk.table).column(fk.column).values
+            parent = set(
+                tpch_tiny.table(fk.ref_table).column(fk.ref_column).values.tolist()
+            )
+            assert set(child.tolist()) <= parent
+
+    def test_uniform_nation_assignment(self, tpch_tiny):
+        nation = tpch_tiny.table("nation")
+        region_counts = np.bincount(nation.column("n_regionkey").values)
+        assert region_counts.tolist() == [5, 5, 5, 5, 5]
+
+    def test_deterministic(self):
+        a = generate_tpch("tiny", seed=3, analyze=False)
+        b = generate_tpch("tiny", seed=3, analyze=False)
+        assert np.array_equal(
+            a.table("lineitem").column("l_partkey").values,
+            b.table("lineitem").column("l_partkey").values,
+        )

@@ -1,0 +1,51 @@
+"""Exception hierarchy and small stats utilities."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    EnumerationError,
+    EstimationError,
+    PlanError,
+    QueryError,
+    ReproError,
+    WorkBudgetExceeded,
+)
+from repro.util.stats import geometric_mean, percentile, quantiles
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            CatalogError, QueryError, PlanError, EstimationError,
+            EnumerationError, WorkBudgetExceeded,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_budget_exceeded_payload(self):
+        exc = WorkBudgetExceeded(200.0, 100.0)
+        assert exc.work_done == 200.0
+        assert exc.budget == 100.0
+        assert "200" in str(exc)
+
+
+class TestStatsUtil:
+    def test_percentile(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_quantiles(self):
+        q = quantiles(list(range(101)))
+        assert q[5] == pytest.approx(5)
+        assert q[95] == pytest.approx(95)
+        with pytest.raises(ValueError):
+            quantiles([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])

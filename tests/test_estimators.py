@@ -1,0 +1,261 @@
+"""Cardinality estimators: formulas, clamps, profiles, q-error metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cardinality import (
+    CoarseHistogramEstimator,
+    DampedEstimator,
+    InjectedCardinalities,
+    MagicConstantEstimator,
+    PostgresEstimator,
+    SamplingEstimator,
+    TrueCardinalities,
+    q_error,
+    signed_ratio,
+)
+from repro.cardinality.qerror import q_error_percentiles
+from repro.errors import EstimationError
+from repro.query.predicates import Comparison, Like
+from repro.query.query import JoinEdge, Query, Relation
+from repro.workloads import job_query
+
+
+def _toy_query(selections=None):
+    return Query(
+        "toy",
+        [Relation("f", "fact"), Relation("a", "dim_a"), Relation("b", "dim_b")],
+        selections or {},
+        [
+            JoinEdge("f", "a_id", "a", "id", "pk_fk", pk_side="a"),
+            JoinEdge("f", "b_id", "b", "id", "pk_fk", pk_side="b"),
+        ],
+    )
+
+
+F, A, B = 0b001, 0b010, 0b100
+
+
+class TestQError:
+    def test_symmetry_example(self):
+        # the paper's example: estimates 10 and 1000 for truth 100
+        assert q_error(10, 100) == pytest.approx(10)
+        assert q_error(1000, 100) == pytest.approx(10)
+
+    def test_zero_clamped(self):
+        assert q_error(0, 10) == 10
+        assert q_error(10, 0) == 10
+
+    @given(
+        st.floats(0.1, 1e9),
+        st.floats(0.1, 1e9),
+    )
+    def test_properties(self, est, true):
+        q = q_error(est, true)
+        assert q >= 1
+        assert q == pytest.approx(q_error(true, est))  # symmetric
+
+    def test_signed_ratio_direction(self):
+        assert signed_ratio(10, 100) == pytest.approx(0.1)
+        assert signed_ratio(100, 10) == pytest.approx(10)
+
+    def test_percentiles(self):
+        pct = q_error_percentiles([1, 10], [1, 1], pcts=(50, 100))
+        assert pct[100] == pytest.approx(10)
+        with pytest.raises(ValueError):
+            q_error_percentiles([], [])
+        with pytest.raises(ValueError):
+            q_error_percentiles([1], [1, 2])
+
+
+class TestPostgresEstimator:
+    def test_unselective_base_exact(self, toy_db):
+        est = PostgresEstimator(toy_db)
+        card = est.bind(_toy_query())
+        assert card(F) == 8
+        assert card(A) == 5
+
+    def test_pk_fk_join_formula(self, toy_db):
+        # |fact ⋈ dim_a| = 8 * 5 / max(nd(a_id), nd(id)) = 8*5/5 = 8
+        est = PostgresEstimator(toy_db)
+        card = est.bind(_toy_query())
+        assert card(F | A) == pytest.approx(8, rel=0.25)
+
+    def test_clamped_to_one(self, toy_db):
+        q = _toy_query({
+            "a": Comparison("color", "=", "red"),
+            "b": Comparison("size", "=", 10),
+            "f": Comparison("value", "=", 9),
+        })
+        card = PostgresEstimator(toy_db).bind(q)
+        assert card(F | A | B) >= 1.0
+
+    def test_independence_multiplies(self, toy_db):
+        q1 = _toy_query({"a": Comparison("color", "=", "blue")})
+        q2 = _toy_query()
+        est = PostgresEstimator(toy_db)
+        sel_card = est.bind(q1)(F | A)
+        full_card = est.bind(q2)(F | A)
+        assert sel_card < full_card
+
+    def test_unfiltered_drops_selection(self, toy_db):
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        card = PostgresEstimator(toy_db).bind(q)
+        assert card.unfiltered(F | A, "a") > card(F | A)
+
+    def test_like_uses_magic_constant(self, imdb_tiny):
+        q = Query(
+            "likeq",
+            [Relation("n", "name")],
+            {"n": Like("name", "%Smith%")},
+            [],
+        )
+        card = PostgresEstimator(imdb_tiny).bind(q)
+        n_rows = imdb_tiny.table("name").n_rows
+        assert card(1) == pytest.approx(max(n_rows * 0.005, 1.0))
+
+    def test_true_distinct_variant_lower_or_equal(self, imdb_tiny):
+        """Sampled distinct counts are underestimates, so swapping in the
+        true ones can only shrink join estimates (larger denominators)."""
+        q = job_query("13d")
+        default = PostgresEstimator(imdb_tiny).bind(q)
+        exact = PostgresEstimator(imdb_tiny, use_true_distincts=True).bind(q)
+        assert exact(q.all_mask) <= default(q.all_mask) * 1.001
+
+    def test_missing_statistics_raises(self, imdb_tiny):
+        from repro.catalog.schema import Database
+
+        empty = Database("empty")
+        empty.tables = imdb_tiny.tables  # tables but no statistics
+        est = PostgresEstimator(empty)
+        q = _toy_query()
+        with pytest.raises(EstimationError):
+            est.cardinality(
+                Query(
+                    "q",
+                    [Relation("t", "title")],
+                    {"t": Comparison("production_year", ">", 2000)},
+                    [],
+                ),
+                1,
+            )
+
+
+class TestSamplingEstimator:
+    def test_near_exact_for_common_predicates(self, imdb_tiny):
+        q = Query(
+            "s",
+            [Relation("t", "title")],
+            {"t": Comparison("production_year", ">", 2000)},
+            [],
+        )
+        est = SamplingEstimator(imdb_tiny).bind(q)
+        truth = TrueCardinalities(imdb_tiny).bind(q)
+        assert q_error(est(1), truth(1)) < 1.6
+
+    def test_zero_sample_fallback(self, imdb_tiny):
+        # an impossible predicate yields zero sample matches -> magic
+        q = Query(
+            "s",
+            [Relation("t", "title")],
+            {"t": Comparison("production_year", "=", 1800)},
+            [],
+        )
+        est = SamplingEstimator(imdb_tiny).bind(q)
+        assert est(1) >= 1.0  # clamped magic fallback, not zero
+
+    def test_correlated_intra_table_predicates(self, imdb_tiny):
+        """Sampling sees intra-table correlation that independence-based
+        histograms cannot: conjunction on correlated columns."""
+        q = Query(
+            "s",
+            [Relation("t", "title")],
+            {
+                "t": Comparison("kind_id", "=", 7)
+                & Comparison("episode_nr", ">", 0),
+            },
+            [],
+        )
+        sample_est = SamplingEstimator(imdb_tiny).bind(q)
+        pg_est = PostgresEstimator(imdb_tiny).bind(q)
+        truth = TrueCardinalities(imdb_tiny).bind(q)
+        assert q_error(sample_est(1), truth(1)) <= q_error(pg_est(1), truth(1))
+
+
+class TestProfiles:
+    def test_damped_raises_multi_join_estimates(self, imdb_tiny):
+        q = job_query("13d")
+        damped = DampedEstimator(imdb_tiny).bind(q)
+        sampling = SamplingEstimator(imdb_tiny).bind(q)
+        assert damped(q.all_mask) >= sampling(q.all_mask)
+
+    def test_coarse_underestimates_joins(self, imdb_tiny):
+        q = job_query("13d")
+        coarse = CoarseHistogramEstimator(imdb_tiny).bind(q)
+        pg = PostgresEstimator(imdb_tiny).bind(q)
+        assert coarse(q.all_mask) <= pg(q.all_mask) * 1.01
+
+    def test_magic_ignores_data(self, imdb_tiny):
+        est = MagicConstantEstimator(imdb_tiny)
+        q1 = Query(
+            "m1", [Relation("t", "title")],
+            {"t": Comparison("production_year", "=", 2005)}, [],
+        )
+        q2 = Query(
+            "m2", [Relation("t", "title")],
+            {"t": Comparison("kind_id", "=", 1)}, [],
+        )
+        assert est.cardinality(q1, 1) == est.cardinality(q2, 1)
+
+    def test_all_estimators_at_least_one(self, imdb_tiny):
+        q = job_query("17b")
+        for est_cls in (
+            PostgresEstimator, SamplingEstimator, DampedEstimator,
+            CoarseHistogramEstimator, MagicConstantEstimator,
+        ):
+            card = est_cls(imdb_tiny).bind(q)
+            assert card(q.all_mask) >= 1.0
+
+
+class TestInjection:
+    def test_override_wins(self, toy_db):
+        q = _toy_query()
+        base = PostgresEstimator(toy_db)
+        injected = InjectedCardinalities(base, overrides={F | A: 12345.0})
+        card = injected.bind(q)
+        assert card(F | A) == 12345.0
+        # non-overridden subsets fall through
+        assert card(F) == base.bind(q)(F)
+
+    def test_unfiltered_override(self, toy_db):
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        injected = InjectedCardinalities(
+            PostgresEstimator(toy_db),
+            unfiltered_overrides={(F | A, "a"): 777.0},
+        )
+        assert injected.bind(q).unfiltered(F | A, "a") == 777.0
+
+    def test_transform(self, toy_db):
+        q = _toy_query()
+        injected = InjectedCardinalities(
+            PostgresEstimator(toy_db),
+            transform=lambda query, subset, value: value * 10,
+        )
+        base = PostgresEstimator(toy_db).bind(q)
+        assert injected.bind(q)(F) == pytest.approx(base(F) * 10)
+
+    def test_from_estimator(self, toy_db):
+        q = _toy_query()
+        source = TrueCardinalities(toy_db)
+        injected = InjectedCardinalities.from_estimator(
+            source, q, [F, F | A], PostgresEstimator(toy_db)
+        )
+        assert injected.bind(q)(F | A) == 8.0
+
+    def test_bound_card_invalid_subset(self, toy_db):
+        card = PostgresEstimator(toy_db).bind(_toy_query())
+        with pytest.raises(EstimationError):
+            card(0)
+        with pytest.raises(EstimationError):
+            card.unfiltered(F, "a")  # alias not in subset

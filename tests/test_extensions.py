@@ -1,0 +1,110 @@
+"""Estimator extensions: join sampling and pessimistic hedging."""
+
+import pytest
+
+from repro.cardinality import (
+    JoinSamplingEstimator,
+    PessimisticEstimator,
+    PostgresEstimator,
+    TrueCardinalities,
+)
+from repro.cardinality.qerror import q_error
+from repro.query.predicates import Comparison
+from repro.query.query import JoinEdge, Query, Relation
+from repro.workloads import job_query
+
+
+def _toy_query(selections=None):
+    return Query(
+        "toy",
+        [Relation("f", "fact"), Relation("a", "dim_a"), Relation("b", "dim_b")],
+        selections or {},
+        [
+            JoinEdge("f", "a_id", "a", "id", "pk_fk", pk_side="a"),
+            JoinEdge("f", "b_id", "b", "id", "pk_fk", pk_side="b"),
+        ],
+    )
+
+
+F, A, B = 0b001, 0b010, 0b100
+
+
+class TestJoinSampling:
+    def test_exact_when_sample_covers_table(self, toy_db):
+        # sample_size >= all toy tables -> fractions 1.0 -> exact counts
+        est = JoinSamplingEstimator(toy_db, sample_size=100)
+        card = est.bind(_toy_query())
+        assert card(F | A | B) == 8.0
+        assert card(F) == 8.0
+
+    def test_scale_factor(self, toy_db):
+        est = JoinSamplingEstimator(toy_db, sample_size=4)
+        q = _toy_query()
+        # fact: 4/8 sampled; dims fully covered (<= 4 rows? dim_a has 5)
+        factor = est.scale_factor(q, F)
+        assert factor == pytest.approx(2.0)
+
+    def test_fallback_on_empty_sample_join(self, toy_db):
+        q = _toy_query({"f": Comparison("value", "=", 123456)})
+        est = JoinSamplingEstimator(toy_db, sample_size=100)
+        assert est.bind(q)(F | A) == 1.0  # default zero-information value
+
+    def test_explicit_fallback_used(self, toy_db):
+        q = _toy_query({"f": Comparison("value", "=", 123456)})
+        fallback = PostgresEstimator(toy_db)
+        est = JoinSamplingEstimator(toy_db, sample_size=100, fallback=fallback)
+        expected = fallback.bind(q)(F | A)
+        assert est.bind(q)(F | A) == pytest.approx(expected)
+
+    def test_sees_join_crossing_correlations(self, imdb_tiny):
+        """On correlated data, join samples must beat the independence
+        estimator for the full join of a correlated star query."""
+        q = job_query("16d")
+        truth = TrueCardinalities(imdb_tiny).bind(q)
+        pg = PostgresEstimator(imdb_tiny).bind(q)
+        js = JoinSamplingEstimator(imdb_tiny, sample_size=500).bind(q)
+        mid_subsets = [
+            s for s in range(1, q.all_mask + 1)
+            if bin(s).count("1") == 3
+        ]
+        # compare average q-error over the 3-relation connected subsets
+        from repro.query.join_graph import JoinGraph
+        graph = JoinGraph(q)
+        pg_errs, js_errs = [], []
+        for s in mid_subsets:
+            if not graph.is_connected(s):
+                continue
+            t = truth(s)
+            pg_errs.append(q_error(pg(s), t))
+            js_errs.append(q_error(js(s), t))
+        assert sum(js_errs) / len(js_errs) <= sum(pg_errs) / len(pg_errs)
+
+
+class TestPessimistic:
+    def test_inflation_per_join(self, toy_db):
+        base = PostgresEstimator(toy_db)
+        hedged = PessimisticEstimator(base, factor=2.0)
+        q = _toy_query()
+        assert hedged.cardinality(q, F) == base.cardinality(q, F)
+        assert hedged.cardinality(q, F | A) == pytest.approx(
+            2.0 * base.cardinality(q, F | A)
+        )
+        assert hedged.cardinality(q, F | A | B) == pytest.approx(
+            4.0 * base.cardinality(q, F | A | B)
+        )
+
+    def test_factor_validation(self, toy_db):
+        with pytest.raises(ValueError):
+            PessimisticEstimator(PostgresEstimator(toy_db), factor=0.5)
+
+    def test_unfiltered_passthrough(self, toy_db):
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        base = PostgresEstimator(toy_db)
+        hedged = PessimisticEstimator(base, factor=3.0)
+        assert hedged.bind(q).unfiltered(F | A, "a") == pytest.approx(
+            3.0 * base.bind(q).unfiltered(F | A, "a")
+        )
+
+    def test_name_mentions_base(self, toy_db):
+        hedged = PessimisticEstimator(PostgresEstimator(toy_db), factor=2.0)
+        assert "postgres" in hedged.name

@@ -1,0 +1,59 @@
+"""Extra coverage of experiment-module internals and result objects."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import JOB_FIG4, TPCH_FIG4
+from repro.experiments.fig6 import SlowdownDistribution
+from repro.experiments.fig8 import Panel
+from repro.experiments.fig9 import CONFIGS, FIG9_QUERIES
+from repro.experiments.report import bucketize_slowdowns
+
+
+class TestSlowdownDistribution:
+    def test_fraction_at_least(self):
+        dist = SlowdownDistribution("x", [0.5, 1.0, 3.0, 20.0])
+        assert dist.fraction_at_least(2.0) == pytest.approx(0.5)
+        assert dist.fraction_at_least(100.0) == 0.0
+
+    def test_empty_fraction(self):
+        assert SlowdownDistribution("x", []).fraction_at_least(2.0) == 0.0
+
+    def test_buckets_sum_to_one(self):
+        dist = SlowdownDistribution("x", [0.1, 1.0, 5.0, 50.0, 500.0])
+        assert sum(dist.buckets.values()) == pytest.approx(1.0)
+        assert dist.buckets == bucketize_slowdowns(dist.slowdowns)
+
+
+class TestFig8Panel:
+    def test_fit_perfect_line(self):
+        costs = [10.0, 100.0, 1000.0, 10000.0]
+        runtimes = [1.0, 10.0, 100.0, 1000.0]  # exactly linear in log space
+        panel = Panel("m", "s", costs=costs, runtimes_ms=runtimes)
+        panel.fit()
+        assert panel.correlation == pytest.approx(1.0)
+        assert panel.median_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_fit_requires_points(self):
+        panel = Panel("m", "s", costs=[1.0], runtimes_ms=[1.0])
+        with pytest.raises(ValueError):
+            panel.fit()
+
+    def test_fit_noisy_correlation_below_one(self):
+        rng = np.random.default_rng(0)
+        costs = list(10.0 ** rng.uniform(1, 5, 30))
+        runtimes = list(10.0 ** rng.uniform(0, 3, 30))
+        panel = Panel("m", "s", costs=costs, runtimes_ms=runtimes)
+        panel.fit()
+        assert abs(panel.correlation) < 0.9
+
+
+class TestExperimentConstants:
+    def test_fig4_query_sets(self):
+        assert JOB_FIG4 == ["6a", "16d", "17b", "25c"]
+        assert TPCH_FIG4 == ["tpch5", "tpch8", "tpch10"]
+
+    def test_fig9_queries_match_paper(self):
+        # the paper plots 6a, 13a, 16d, 17b, 25c
+        assert FIG9_QUERIES == ["6a", "13a", "16d", "17b", "25c"]
+        assert len(CONFIGS) == 3

@@ -1,0 +1,72 @@
+"""Index correctness: sorted and hash indexes vs naive lookup."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.column import NULL_INT, Column
+from repro.catalog.index import HashIndex, SortedIndex
+from repro.catalog.table import Table
+from repro.errors import CatalogError
+
+
+def _table(keys):
+    return Table("t", [Column("k", np.asarray(keys, dtype=np.int64))])
+
+
+@pytest.mark.parametrize("index_cls", [SortedIndex, HashIndex])
+class TestBothIndexes:
+    def test_lookup_matches_naive(self, index_cls):
+        keys = [5, 3, 5, 7, 3, 5, 100]
+        idx = index_cls(_table(keys), "k")
+        arr = np.asarray(keys)
+        for key in [3, 5, 7, 100, 42]:
+            expected = set(np.nonzero(arr == key)[0].tolist())
+            assert set(idx.lookup(key).tolist()) == expected
+
+    def test_lookup_many_expansion(self, index_cls):
+        keys = [1, 2, 2, 3]
+        idx = index_cls(_table(keys), "k")
+        probe = np.array([2, 9, 1, 2])
+        positions, rows = idx.lookup_many(probe)
+        # probe 0 (key 2) -> rows {1,2}; probe 2 (key 1) -> {0};
+        # probe 3 (key 2) -> {1,2}; probe 1 (key 9) -> nothing
+        pairs = sorted(zip(positions.tolist(), rows.tolist()))
+        assert pairs == [(0, 1), (0, 2), (2, 0), (3, 1), (3, 2)]
+
+    def test_empty_probe(self, index_cls):
+        idx = index_cls(_table([1, 2]), "k")
+        positions, rows = idx.lookup_many(np.array([], dtype=np.int64))
+        assert len(positions) == 0 and len(rows) == 0
+
+    def test_string_column_rejected(self, index_cls):
+        t = Table("t", [Column("s", ["a"], kind="str")])
+        with pytest.raises(CatalogError):
+            index_cls(t, "s")
+
+
+def test_hash_index_skips_nulls():
+    idx = HashIndex(_table([1, NULL_INT, 1]), "k")
+    assert set(idx.lookup(1).tolist()) == {0, 2}
+    assert len(idx.lookup(NULL_INT)) == 0
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=1, max_size=60),
+    st.lists(st.integers(0, 25), min_size=1, max_size=20),
+)
+def test_lookup_many_property(keys, probes):
+    table = _table(keys)
+    arr = np.asarray(keys)
+    sorted_idx = SortedIndex(table, "k")
+    hash_idx = HashIndex(table, "k")
+    for idx in (sorted_idx, hash_idx):
+        positions, rows = idx.lookup_many(np.asarray(probes, dtype=np.int64))
+        got = sorted(zip(positions.tolist(), rows.tolist()))
+        expected = sorted(
+            (pos, int(row))
+            for pos, probe in enumerate(probes)
+            for row in np.nonzero(arr == probe)[0]
+        )
+        assert got == expected

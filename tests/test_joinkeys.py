@@ -1,0 +1,112 @@
+"""Vectorised equi-join indices vs brute-force nested loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.column import NULL_INT
+from repro.util.joinkeys import equi_join_indices, join_match_counts
+
+
+def _brute(left_cols, right_cols):
+    nl = len(left_cols[0])
+    nr = len(right_cols[0])
+    pairs = []
+    for i in range(nl):
+        for j in range(nr):
+            ok = True
+            for lc, rc in zip(left_cols, right_cols):
+                if lc[i] == NULL_INT or rc[j] == NULL_INT or lc[i] != rc[j]:
+                    ok = False
+                    break
+            if ok:
+                pairs.append((i, j))
+    return sorted(pairs)
+
+
+def _arrays(*lists):
+    return [np.asarray(x, dtype=np.int64) for x in lists]
+
+
+def test_single_column_join():
+    left, = _arrays([1, 2, 2, 3])
+    right, = _arrays([2, 3, 4])
+    lidx, ridx = equi_join_indices([left], [right])
+    assert sorted(zip(lidx.tolist(), ridx.tolist())) == [
+        (1, 0), (2, 0), (3, 1),
+    ]
+
+
+def test_multi_column_join():
+    l1, l2 = _arrays([1, 1, 2], [5, 6, 5])
+    r1, r2 = _arrays([1, 2, 1], [5, 5, 6])
+    lidx, ridx = equi_join_indices([l1, l2], [r1, r2])
+    assert sorted(zip(lidx.tolist(), ridx.tolist())) == [
+        (0, 0), (1, 2), (2, 1),
+    ]
+
+
+def test_nulls_never_match():
+    left, = _arrays([NULL_INT, 1])
+    right, = _arrays([NULL_INT, 1])
+    lidx, ridx = equi_join_indices([left], [right])
+    assert list(zip(lidx.tolist(), ridx.tolist())) == [(1, 1)]
+
+
+def test_empty_result():
+    left, = _arrays([1, 2])
+    right, = _arrays([3])
+    lidx, ridx = equi_join_indices([left], [right])
+    assert len(lidx) == 0 and len(ridx) == 0
+
+
+def test_empty_inputs():
+    left, = _arrays([])
+    right, = _arrays([1])
+    lidx, ridx = equi_join_indices([left], [right])
+    assert len(lidx) == 0
+
+
+def test_mismatched_columns_rejected():
+    left, = _arrays([1])
+    with pytest.raises(ValueError):
+        equi_join_indices([left], [])
+
+
+def test_match_counts():
+    left, = _arrays([1, 1, 2])
+    right, = _arrays([1, 3, 2, 2])
+    counts = join_match_counts([left], [right])
+    assert counts.tolist() == [2, 0, 1, 1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 6), min_size=0, max_size=25),
+    st.lists(st.integers(0, 6), min_size=0, max_size=25),
+)
+def test_join_matches_brute_force(lvals, rvals):
+    if not lvals or not rvals:
+        return
+    left, right = _arrays(lvals, rvals)
+    lidx, ridx = equi_join_indices([left], [right])
+    assert sorted(zip(lidx.tolist(), ridx.tolist())) == _brute([left], [right])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 15),
+    st.integers(1, 15),
+    st.data(),
+)
+def test_two_column_join_matches_brute_force(nl, nr, data):
+    small = st.integers(0, 3)
+    l1 = _arrays(data.draw(st.lists(small, min_size=nl, max_size=nl)))[0]
+    l2 = _arrays(data.draw(st.lists(small, min_size=nl, max_size=nl)))[0]
+    r1 = _arrays(data.draw(st.lists(small, min_size=nr, max_size=nr)))[0]
+    r2 = _arrays(data.draw(st.lists(small, min_size=nr, max_size=nr)))[0]
+    lidx, ridx = equi_join_indices([l1, l2], [r1, r2])
+    assert sorted(zip(lidx.tolist(), ridx.tolist())) == _brute(
+        [l1, l2], [r1, r2]
+    )

@@ -1,0 +1,73 @@
+"""Physical design: index sets per configuration, access-path gating."""
+
+import pytest
+
+from repro.physical import IndexConfig, PhysicalDesign
+from repro.query.query import JoinEdge
+from repro.workloads import job_query
+
+
+class TestIndexSets:
+    def test_none_has_no_indexes(self, imdb_tiny):
+        design = PhysicalDesign(imdb_tiny, IndexConfig.NONE)
+        assert not design.has_index("title", "id")
+        assert not design.has_index("cast_info", "movie_id")
+
+    def test_pk_only(self, imdb_tiny):
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK)
+        assert design.has_index("title", "id")
+        assert design.has_index("cast_info", "id")
+        assert not design.has_index("cast_info", "movie_id")
+
+    def test_pk_fk_adds_fk_columns(self, imdb_tiny):
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK_FK)
+        assert design.has_index("title", "id")
+        assert design.has_index("cast_info", "movie_id")
+        assert design.has_index("movie_companies", "company_id")
+        assert not design.has_index("title", "production_year")
+
+    def test_index_lazily_built_and_cached(self, imdb_tiny):
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK)
+        idx1 = design.index("title", "id")
+        idx2 = design.index("title", "id")
+        assert idx1 is idx2
+        assert len(idx1.lookup(1)) == 1
+
+    def test_missing_index_raises(self, imdb_tiny):
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK)
+        with pytest.raises(KeyError):
+            design.index("cast_info", "movie_id")
+
+
+class TestUsableIndexEdge:
+    def test_pk_side_usable_in_pk_config(self, imdb_tiny):
+        q = job_query("1a")
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK)
+        # mc.movie_id = t.id: inner 't' has a PK index on id
+        edges = [e for e in q.joins if "t" in e.aliases()]
+        edge = design.usable_index_edge(q, edges, "t")
+        assert edge is not None
+        _, col = edge.side("t")
+        assert col == "id"
+
+    def test_fk_side_needs_fk_config(self, imdb_tiny):
+        q = job_query("1a")
+        edges = [e for e in q.joins if "mc" in e.aliases()]
+        pk_design = PhysicalDesign(imdb_tiny, IndexConfig.PK)
+        fk_design = PhysicalDesign(imdb_tiny, IndexConfig.PK_FK)
+        # inner 'mc' joins via movie_id / company_type_id (FK columns)
+        assert pk_design.usable_index_edge(q, edges, "mc") is None
+        assert fk_design.usable_index_edge(q, edges, "mc") is not None
+
+    def test_none_config_blocks_everything(self, imdb_tiny):
+        q = job_query("1a")
+        design = PhysicalDesign(imdb_tiny, IndexConfig.NONE)
+        for rel in q.relations:
+            edges = [e for e in q.joins if rel.alias in e.aliases()]
+            assert design.usable_index_edge(q, edges, rel.alias) is None
+
+    def test_irrelevant_edges_ignored(self, imdb_tiny):
+        q = job_query("1a")
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK_FK)
+        other = JoinEdge("mc", "movie_id", "miidx", "movie_id", "fk_fk")
+        assert design.usable_index_edge(q, [other], "t") is None

@@ -1,0 +1,131 @@
+"""Plan trees: construction rules, shape classification, pretty printing."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import JoinNode, ScanNode, TreeShape, classify_shape, satisfies_shape
+from repro.plans.plan import annotate_estimates
+from repro.query.query import JoinEdge
+
+
+def _edge(a="a", b="b"):
+    return JoinEdge(a, "x", b, "y", "fk_fk")
+
+
+def _scan(i, alias):
+    return ScanNode(i, alias, f"table_{alias}")
+
+
+class TestConstruction:
+    def test_scan_subset(self):
+        s = _scan(2, "a")
+        assert s.subset == 0b100
+        assert s.children() == ()
+        assert s.leaf_count() == 1
+
+    def test_join_subset_union(self):
+        j = JoinNode(_scan(0, "a"), _scan(1, "b"), "hash", [_edge()])
+        assert j.subset == 0b11
+        assert j.leaf_count() == 2
+
+    def test_overlapping_children_rejected(self):
+        with pytest.raises(PlanError):
+            JoinNode(_scan(0, "a"), _scan(0, "b"), "hash", [_edge()])
+
+    def test_cross_product_rejected(self):
+        with pytest.raises(PlanError):
+            JoinNode(_scan(0, "a"), _scan(1, "b"), "hash", [])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(PlanError):
+            JoinNode(_scan(0, "a"), _scan(1, "b"), "mergesortish", [_edge()])
+
+    def test_inlj_requires_base_inner(self):
+        inner_join = JoinNode(_scan(1, "b"), _scan(2, "c"), "hash",
+                              [_edge("b", "c")])
+        with pytest.raises(PlanError):
+            JoinNode(_scan(0, "a"), inner_join, "inlj", [_edge()],
+                     index_edge=_edge())
+
+    def test_inlj_requires_index_edge(self):
+        with pytest.raises(PlanError):
+            JoinNode(_scan(0, "a"), _scan(1, "b"), "inlj", [_edge()])
+
+    def test_iter_nodes_postorder(self):
+        left = _scan(0, "a")
+        right = _scan(1, "b")
+        j = JoinNode(left, right, "hash", [_edge()])
+        assert list(j.iter_nodes()) == [left, right, j]
+
+
+def _left_deep():
+    # ((a ⋈ b) ⋈ c)
+    ab = JoinNode(_scan(0, "a"), _scan(1, "b"), "hash", [_edge("a", "b")])
+    return JoinNode(ab, _scan(2, "c"), "hash", [_edge("b", "c")])
+
+
+def _right_deep():
+    bc = JoinNode(_scan(1, "b"), _scan(2, "c"), "hash", [_edge("b", "c")])
+    return JoinNode(_scan(0, "a"), bc, "hash", [_edge("a", "b")])
+
+
+def _zig_zag():
+    # (a ⋈ (b ⋈ c)) then joined with d on the right: zig-zag, not deep
+    bc = JoinNode(_scan(1, "b"), _scan(2, "c"), "hash", [_edge("b", "c")])
+    abc = JoinNode(_scan(0, "a"), bc, "hash", [_edge("a", "b")])
+    return JoinNode(abc, _scan(3, "d"), "hash", [_edge("c", "d")])
+
+
+def _bushy():
+    ab = JoinNode(_scan(0, "a"), _scan(1, "b"), "hash", [_edge("a", "b")])
+    cd = JoinNode(_scan(2, "c"), _scan(3, "d"), "hash", [_edge("c", "d")])
+    return JoinNode(ab, cd, "hash", [_edge("b", "c")])
+
+
+class TestShapes:
+    def test_classification(self):
+        assert classify_shape(_left_deep()) is TreeShape.LEFT_DEEP
+        assert classify_shape(_right_deep()) is TreeShape.RIGHT_DEEP
+        assert classify_shape(_zig_zag()) is TreeShape.ZIG_ZAG
+        assert classify_shape(_bushy()) is TreeShape.BUSHY
+
+    def test_single_join_is_both_deep_shapes(self):
+        j = JoinNode(_scan(0, "a"), _scan(1, "b"), "hash", [_edge()])
+        assert satisfies_shape(j, TreeShape.LEFT_DEEP)
+        assert satisfies_shape(j, TreeShape.RIGHT_DEEP)
+
+    def test_shape_nesting(self):
+        for plan in (_left_deep(), _right_deep(), _zig_zag()):
+            assert satisfies_shape(plan, TreeShape.ZIG_ZAG)
+            assert satisfies_shape(plan, TreeShape.BUSHY)
+        assert not satisfies_shape(_bushy(), TreeShape.ZIG_ZAG)
+        assert not satisfies_shape(_zig_zag(), TreeShape.LEFT_DEEP)
+        assert not satisfies_shape(_right_deep(), TreeShape.LEFT_DEEP)
+
+
+class TestAnnotation:
+    def test_annotate_estimates(self, toy_db):
+        from repro.cardinality import PostgresEstimator
+        from repro.query.query import Query, Relation
+
+        q = Query(
+            "q",
+            [Relation("f", "fact"), Relation("a", "dim_a")],
+            {},
+            [JoinEdge("f", "a_id", "a", "id", "pk_fk", pk_side="a")],
+        )
+        plan = JoinNode(
+            ScanNode(0, "f", "fact"), ScanNode(1, "a", "dim_a"),
+            "hash", [q.joins[0]],
+        )
+        card = PostgresEstimator(toy_db).bind(q)
+        annotate_estimates(plan, card)
+        for node in plan.iter_nodes():
+            assert node.est_rows == node.est_rows  # not NaN
+        assert plan.est_rows == card(0b11)
+
+    def test_pretty_contains_structure(self):
+        text = _bushy().pretty()
+        assert "HASH" in text
+        assert "Scan a[table_a]" in text
+        assert text.count("Scan") == 4

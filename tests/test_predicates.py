@@ -1,0 +1,211 @@
+"""Predicate evaluation semantics, including SQL NULL handling and LIKE."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.column import Column
+from repro.catalog.table import Table
+from repro.errors import QueryError
+from repro.query.predicates import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    IsNotNull,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    _like_to_regex,
+)
+
+
+def _int_table(values, nulls=None):
+    return Table("t", [Column("x", values, nulls=nulls)])
+
+
+def _str_table(values):
+    return Table("t", [Column("s", values, kind="str")])
+
+
+class TestComparison:
+    def test_all_int_ops(self):
+        t = _int_table([1, 2, 3, 4])
+        cases = {
+            "=": [False, True, False, False],
+            "!=": [True, False, True, True],
+            "<": [True, False, False, False],
+            "<=": [True, True, False, False],
+            ">": [False, False, True, True],
+            ">=": [False, True, True, True],
+        }
+        for op, expected in cases.items():
+            assert Comparison("x", op, 2).evaluate(t).tolist() == expected
+
+    def test_null_never_matches(self):
+        t = _int_table([1, 2], nulls=np.array([False, True]))
+        assert Comparison("x", "=", 2).evaluate(t).tolist() == [False, False]
+        assert Comparison("x", "!=", 1).evaluate(t).tolist() == [False, False]
+
+    def test_string_equality(self):
+        t = _str_table(["a", "b", None])
+        assert Comparison("s", "=", "b").evaluate(t).tolist() == [False, True, False]
+
+    def test_string_absent_value(self):
+        t = _str_table(["a", "c"])
+        assert Comparison("s", "=", "b").evaluate(t).tolist() == [False, False]
+        # range semantics preserved for an absent pivot: 'a' < 'b' < 'c'
+        assert Comparison("s", "<", "b").evaluate(t).tolist() == [True, False]
+        assert Comparison("s", ">", "b").evaluate(t).tolist() == [False, True]
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(QueryError):
+            Comparison("x", "=", "oops").evaluate(_int_table([1]))
+        with pytest.raises(QueryError):
+            Comparison("s", "=", 5).evaluate(_str_table(["a"]))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("x", "~", 1)
+
+
+class TestBetween:
+    def test_inclusive(self):
+        t = _int_table([1, 2, 3, 4, 5])
+        assert Between("x", 2, 4).evaluate(t).tolist() == [
+            False, True, True, True, False,
+        ]
+
+    def test_open_ends(self):
+        t = _int_table([1, 2, 3])
+        assert Between("x", None, 2).evaluate(t).tolist() == [True, True, False]
+        assert Between("x", 2, None).evaluate(t).tolist() == [False, True, True]
+
+    def test_null_excluded(self):
+        t = _int_table([2, 2], nulls=np.array([False, True]))
+        assert Between("x", 1, 3).evaluate(t).tolist() == [True, False]
+
+
+class TestInList:
+    def test_ints(self):
+        t = _int_table([1, 2, 3])
+        assert InList("x", [1, 3]).evaluate(t).tolist() == [True, False, True]
+
+    def test_strings(self):
+        t = _str_table(["a", "b", "c"])
+        assert InList("s", ["a", "c", "zz"]).evaluate(t).tolist() == [
+            True, False, True,
+        ]
+
+    def test_all_absent_strings(self):
+        t = _str_table(["a"])
+        assert InList("s", ["zz"]).evaluate(t).tolist() == [False]
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            InList("x", [])
+
+
+class TestLike:
+    def test_prefix_suffix_substring(self):
+        t = _str_table(["apple pie", "crab apple", "banana", None])
+        assert Like("s", "apple%").evaluate(t).tolist() == [
+            True, False, False, False,
+        ]
+        assert Like("s", "%apple").evaluate(t).tolist() == [
+            False, True, False, False,
+        ]
+        assert Like("s", "%an%").evaluate(t).tolist() == [
+            False, False, True, False,
+        ]
+
+    def test_underscore(self):
+        t = _str_table(["cat", "cut", "coat"])
+        assert Like("s", "c_t").evaluate(t).tolist() == [True, True, False]
+
+    def test_negation_excludes_nulls(self):
+        t = _str_table(["cat", None])
+        assert Like("s", "dog%", negate=True).evaluate(t).tolist() == [
+            True, False,
+        ]
+
+    def test_regex_special_chars_escaped(self):
+        t = _str_table(["a.b", "axb"])
+        assert Like("s", "a.b").evaluate(t).tolist() == [True, False]
+
+    def test_like_on_int_rejected(self):
+        with pytest.raises(QueryError):
+            Like("x", "%").evaluate(_int_table([1]))
+
+    def test_like_to_regex_anchored(self):
+        assert _like_to_regex("ab") == r"ab\Z"
+        assert _like_to_regex("%b_") == r".*b.\Z"
+
+
+class TestNullTests:
+    def test_is_null(self):
+        t = _int_table([1, 2], nulls=np.array([True, False]))
+        assert IsNull("x").evaluate(t).tolist() == [True, False]
+        assert IsNotNull("x").evaluate(t).tolist() == [False, True]
+
+
+class TestBooleanCombinators:
+    def test_and_or_not(self):
+        t = _int_table([1, 2, 3, 4])
+        a = Comparison("x", ">", 1)
+        b = Comparison("x", "<", 4)
+        assert And([a, b]).evaluate(t).tolist() == [False, True, True, False]
+        assert Or([Not(a), Not(b)]).evaluate(t).tolist() == [
+            True, False, False, True,
+        ]
+
+    def test_operator_sugar(self):
+        t = _int_table([1, 2, 3])
+        combo = Comparison("x", ">", 1) & Comparison("x", "<", 3)
+        assert combo.evaluate(t).tolist() == [False, True, False]
+        combo = Comparison("x", "=", 1) | Comparison("x", "=", 3)
+        assert combo.evaluate(t).tolist() == [True, False, True]
+
+    def test_flattening(self):
+        a, b, c = (Comparison("x", "=", i) for i in range(3))
+        assert len(And([And([a, b]), c]).children) == 3
+        assert len(Or([Or([a, b]), c]).children) == 3
+
+    def test_not_respects_nulls(self):
+        # NOT (x = 2) must not match NULL rows (three-valued logic)
+        t = _int_table([1, 2, 0], nulls=np.array([False, False, True]))
+        assert Not(Comparison("x", "=", 2)).evaluate(t).tolist() == [
+            True, False, False,
+        ]
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(QueryError):
+            And([])
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_columns_union(self):
+        t = And([Comparison("a", "=", 1), Comparison("b", "=", 2)])
+        assert t.columns() == {"a", "b"}
+
+
+@given(
+    st.lists(st.integers(-50, 50), min_size=1, max_size=80),
+    st.integers(-60, 60),
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+)
+def test_comparison_matches_numpy(values, pivot, op):
+    t = _int_table(values)
+    got = Comparison("x", op, pivot).evaluate(t)
+    arr = np.asarray(values)
+    expected = {
+        "=": arr == pivot,
+        "!=": arr != pivot,
+        "<": arr < pivot,
+        "<=": arr <= pivot,
+        ">": arr > pivot,
+        ">=": arr >= pivot,
+    }[op]
+    assert got.tolist() == expected.tolist()

@@ -1,0 +1,143 @@
+"""Query model and join graph: validation, connectivity, edge lookup."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.join_graph import JoinGraph
+from repro.query.predicates import Comparison
+from repro.query.query import JoinEdge, Query, Relation
+
+
+def _chain_query(n=4):
+    """r0 - r1 - r2 - ... - r{n-1} chain."""
+    relations = [Relation(f"r{i}", f"t{i}") for i in range(n)]
+    joins = [
+        JoinEdge(f"r{i}", "id", f"r{i+1}", "fk", "pk_fk", pk_side=f"r{i}")
+        for i in range(n - 1)
+    ]
+    return Query("chain", relations, {}, joins)
+
+
+def _star_query(n_leaves=4):
+    relations = [Relation("hub", "fact")] + [
+        Relation(f"l{i}", f"dim{i}") for i in range(n_leaves)
+    ]
+    joins = [
+        JoinEdge("hub", f"fk{i}", f"l{i}", "id", "pk_fk", pk_side=f"l{i}")
+        for i in range(n_leaves)
+    ]
+    return Query("star", relations, {}, joins)
+
+
+class TestQueryValidation:
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(QueryError):
+            Query("q", [Relation("a", "t"), Relation("a", "t")])
+
+    def test_selection_on_unknown_alias_rejected(self):
+        with pytest.raises(QueryError):
+            Query(
+                "q",
+                [Relation("a", "t")],
+                {"b": Comparison("x", "=", 1)},
+            )
+
+    def test_join_on_unknown_alias_rejected(self):
+        with pytest.raises(QueryError):
+            Query(
+                "q",
+                [Relation("a", "t")],
+                {},
+                [JoinEdge("a", "x", "b", "y", "fk_fk")],
+            )
+
+    def test_edge_kind_validation(self):
+        with pytest.raises(QueryError):
+            JoinEdge("a", "x", "b", "y", "bogus")
+        with pytest.raises(QueryError):
+            JoinEdge("a", "x", "b", "y", "pk_fk", pk_side="c")
+
+    def test_alias_bits(self):
+        q = _chain_query(3)
+        assert q.alias_bit("r0") == 1
+        assert q.alias_bit("r2") == 4
+        assert q.all_mask == 0b111
+        with pytest.raises(QueryError):
+            q.alias_bit("nope")
+
+    def test_n_joins(self):
+        assert _chain_query(5).n_joins == 4
+
+
+class TestJoinEdge:
+    def test_side_and_other(self):
+        e = JoinEdge("a", "x", "b", "y", "fk_fk")
+        assert e.side("a") == ("a", "x")
+        assert e.other("a") == ("b", "y")
+        assert e.side("b") == ("b", "y")
+        assert e.other("b") == ("a", "x")
+        with pytest.raises(QueryError):
+            e.side("c")
+
+
+class TestJoinGraph:
+    def test_chain_connectivity(self):
+        g = JoinGraph(_chain_query(4))
+        assert g.is_connected(0b1111)
+        assert g.is_connected(0b0011)
+        assert not g.is_connected(0b1001)  # r0 and r3 not adjacent
+        assert not g.is_connected(0)
+
+    def test_star_connectivity(self):
+        g = JoinGraph(_star_query(3))
+        # any subset containing the hub (bit 0) is connected
+        assert g.is_connected(0b1011)
+        # two leaves without the hub are not
+        assert not g.is_connected(0b0110)
+
+    def test_neighbors(self):
+        g = JoinGraph(_chain_query(4))
+        assert g.neighbors(0b0001) == 0b0010
+        assert g.neighbors(0b0010) == 0b0101
+        assert g.neighbors(0b0110) == 0b1001
+
+    def test_connects(self):
+        g = JoinGraph(_chain_query(4))
+        assert g.connects(0b0001, 0b0010)
+        assert not g.connects(0b0001, 0b0100)
+
+    def test_edges_between_and_within(self):
+        q = _star_query(2)
+        g = JoinGraph(q)
+        hub, l0, l1 = 0b001, 0b010, 0b100
+        assert len(g.edges_between(hub, l0)) == 1
+        assert len(g.edges_between(l0, l1)) == 0
+        assert len(g.edges_within(hub | l0 | l1)) == 2
+
+    def test_multi_edges_preserved(self):
+        q = Query(
+            "q",
+            [Relation("a", "t"), Relation("b", "u")],
+            {},
+            [
+                JoinEdge("a", "x", "b", "y", "fk_fk"),
+                JoinEdge("a", "z", "b", "w", "fk_fk"),
+            ],
+        )
+        g = JoinGraph(q)
+        assert len(g.edges_between(0b01, 0b10)) == 2
+
+    def test_self_join_edge_rejected(self):
+        q = Query(
+            "q",
+            [Relation("a", "t"), Relation("b", "u")],
+            {},
+            [JoinEdge("a", "x", "a", "y", "fk_fk")],
+        )
+        with pytest.raises(QueryError):
+            JoinGraph(q)
+
+    def test_degree(self):
+        g = JoinGraph(_star_query(3))
+        assert g.degree(0) == 3  # hub
+        assert g.degree(1) == 1

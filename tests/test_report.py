@@ -1,0 +1,67 @@
+"""Report rendering: tables, histograms, slowdown buckets."""
+
+import pytest
+
+from repro.experiments.report import (
+    SLOWDOWN_BUCKETS,
+    bucketize_slowdowns,
+    format_histogram,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 2.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[123456.0], [0.0001], [float("nan")], [0.0]])
+        assert "1.23e+05" in out
+        assert "0.0001" in out
+        assert "-" in out
+        assert "0" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        out = format_histogram(["low", "high"], [0.1, 1.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 1
+        assert lines[1].count("#") == 10
+        assert "100.0%" in lines[1]
+
+
+class TestBuckets:
+    def test_paper_bucket_labels(self):
+        labels = [label for _, _, label in SLOWDOWN_BUCKETS]
+        assert labels == [
+            "<0.9", "[0.9,1.1)", "[1.1,2)", "[2,10)", "[10,100)", ">100",
+        ]
+
+    def test_bucketize(self):
+        fractions = bucketize_slowdowns([0.5, 1.0, 1.5, 5, 50, 500, 1000])
+        assert fractions["<0.9"] == pytest.approx(1 / 7)
+        assert fractions[">100"] == pytest.approx(2 / 7)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_boundaries(self):
+        fractions = bucketize_slowdowns([0.9, 1.1, 2.0, 10.0, 100.0])
+        assert fractions["[0.9,1.1)"] == pytest.approx(0.2)
+        assert fractions["[1.1,2)"] == pytest.approx(0.2)
+        assert fractions["[2,10)"] == pytest.approx(0.2)
+        assert fractions["[10,100)"] == pytest.approx(0.2)
+        assert fractions[">100"] == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bucketize_slowdowns([])

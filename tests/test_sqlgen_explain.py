@@ -1,0 +1,123 @@
+"""SQL rendering and EXPLAIN reports."""
+
+import pytest
+
+from repro.cardinality import PostgresEstimator, TrueCardinalities
+from repro.cost import SimpleCostModel
+from repro.enumeration import DPEnumerator, QueryContext
+from repro.physical import IndexConfig, PhysicalDesign
+from repro.plans.explain import explain, worst_misestimated_node
+from repro.query.predicates import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Not,
+    Or,
+)
+from repro.query.sqlgen import predicate_to_sql, query_to_sql
+from repro.workloads import job_query
+
+
+class TestPredicateSql:
+    def test_comparison(self):
+        assert predicate_to_sql("t", Comparison("y", ">", 2000)) == "t.y > 2000"
+        assert (
+            predicate_to_sql("cn", Comparison("cc", "=", "[us]"))
+            == "cn.cc = '[us]'"
+        )
+
+    def test_quoting(self):
+        out = predicate_to_sql("x", Comparison("s", "=", "O'Brien"))
+        assert out == "x.s = 'O''Brien'"
+
+    def test_between(self):
+        assert (
+            predicate_to_sql("t", Between("y", 1990, 2000))
+            == "t.y BETWEEN 1990 AND 2000"
+        )
+        assert predicate_to_sql("t", Between("y", None, 5)) == "t.y <= 5"
+        assert predicate_to_sql("t", Between("y", 5, None)) == "t.y >= 5"
+
+    def test_in_like_null(self):
+        assert (
+            predicate_to_sql("k", InList("kw", ["a", "b"]))
+            == "k.kw IN ('a', 'b')"
+        )
+        assert (
+            predicate_to_sql("n", Like("name", "%Tim%"))
+            == "n.name LIKE '%Tim%'"
+        )
+        assert (
+            predicate_to_sql("n", Like("name", "X%", negate=True))
+            == "n.name NOT LIKE 'X%'"
+        )
+        assert predicate_to_sql("m", IsNull("note")) == "m.note IS NULL"
+
+    def test_boolean_combinators(self):
+        pred = And([Comparison("a", "=", 1), Or([IsNull("b"), Not(IsNull("c"))])])
+        out = predicate_to_sql("t", pred)
+        assert out == "(t.a = 1 AND (t.b IS NULL OR NOT (t.c IS NULL)))"
+
+
+class TestQuerySql:
+    def test_13d_rendering(self):
+        sql = query_to_sql(job_query("13d"))
+        assert sql.startswith("SELECT *")
+        assert "company_name AS cn" in sql
+        assert "cn.country_code = '[us]'" in sql
+        assert "mc.movie_id = t.id" in sql
+        assert sql.rstrip().endswith(";")
+
+    def test_all_job_queries_render(self):
+        from repro.workloads import job_queries
+
+        for q in job_queries():
+            sql = query_to_sql(q)
+            assert "SELECT" in sql and "WHERE" in sql
+            # every alias appears in the FROM clause
+            for rel in q.relations:
+                assert f"{rel.table} AS {rel.alias}" in sql
+
+    def test_projection_override(self):
+        sql = query_to_sql(job_query("1a"), projection="MIN(t.title)")
+        assert sql.startswith("SELECT MIN(t.title)")
+
+
+class TestExplain:
+    @pytest.fixture()
+    def setup(self, imdb_tiny):
+        query = job_query("13d")
+        design = PhysicalDesign(imdb_tiny, IndexConfig.PK_FK)
+        dp = DPEnumerator(SimpleCostModel(imdb_tiny), design)
+        est = PostgresEstimator(imdb_tiny).bind(query)
+        plan, _ = dp.optimize(QueryContext(query), est)
+        return imdb_tiny, query, plan, est
+
+    def test_explain_basic(self, setup):
+        db, query, plan, est = setup
+        out = explain(plan, query, est)
+        assert "Scan" in out and "est=" in out
+        assert out.count("\n") >= query.n_relations
+
+    def test_explain_with_truth_and_cost(self, setup):
+        db, query, plan, est = setup
+        truth = TrueCardinalities(db).bind(query)
+        out = explain(
+            plan, query, est, true_card=truth,
+            cost_model=SimpleCostModel(db),
+        )
+        assert "true=" in out and "q-err=" in out and "cost=" in out
+
+    def test_worst_misestimated_node(self, setup):
+        db, query, plan, est = setup
+        truth = TrueCardinalities(db).bind(query)
+        node, err = worst_misestimated_node(plan, est, truth)
+        assert err >= 1.0
+        # the reported node's q-error really is the max over the plan
+        from repro.cardinality.qerror import q_error
+
+        for other in plan.iter_nodes():
+            assert q_error(est(other.subset), truth(other.subset)) <= err + 1e-9

@@ -1,0 +1,132 @@
+"""ANALYZE statistics: distinct estimation, MCVs, histograms, selectivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.column import Column
+from repro.catalog.statistics import (
+    _duj1_distinct,
+    analyze_column,
+    analyze_table,
+)
+from repro.catalog.table import Table
+
+
+def _stats_for(values, sample_size=None, **kwargs):
+    col = Column("x", values)
+    table = Table("t", [col])
+    n = sample_size if sample_size is not None else len(values)
+    ids = table.sample_row_ids(n, seed=0)
+    return analyze_column(col, ids, table.n_rows, **kwargs)
+
+
+class TestDuj1:
+    def test_exact_for_full_sample(self):
+        sample = np.array([1, 1, 2, 3])
+        assert _duj1_distinct(sample, n_rows=4) == 3
+
+    def test_exact_for_unique_column(self):
+        # all values distinct in sample of a larger unique column: the
+        # estimator scales up to the full table size
+        sample = np.arange(100)
+        assert _duj1_distinct(sample, n_rows=1000) == pytest.approx(1000)
+
+    def test_underestimates_skew(self):
+        # Zipfian-ish column: a few heavy values plus a long unique tail
+        rng = np.random.default_rng(0)
+        heavy = rng.integers(0, 5, 800)
+        tail = np.arange(10_000, 10_000 + 5000)
+        column = np.concatenate([np.tile(heavy, 10), tail])
+        rng.shuffle(column)
+        sample = column[:1000]
+        est = _duj1_distinct(sample, n_rows=len(column))
+        true = len(np.unique(column))
+        assert est < true, "Duj1 should underestimate skewed columns"
+
+    def test_empty(self):
+        assert _duj1_distinct(np.array([], dtype=np.int64), 10) == 0.0
+
+
+class TestColumnStatistics:
+    def test_null_fraction(self):
+        col = Column("x", [1, 2, 3, 4], nulls=np.array([True, False, True, False]))
+        table = Table("t", [col])
+        stats = analyze_column(col, np.arange(4), 4)
+        assert stats.null_frac == 0.5
+
+    def test_mcvs_capture_heavy_hitters(self):
+        values = [7] * 50 + [8] * 30 + list(range(100, 120))
+        stats = _stats_for(values)
+        assert 7 in stats.mcv_values.tolist()
+        assert 8 in stats.mcv_values.tolist()
+        total = stats.mcv_freqs.sum() + stats.histogram_frac + stats.null_frac
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_eq_selectivity_mcv(self):
+        values = [7] * 50 + [8] * 30 + list(range(100, 120))
+        stats = _stats_for(values)
+        assert stats.eq_selectivity(7) == pytest.approx(0.5, abs=0.02)
+
+    def test_eq_selectivity_non_mcv_uniform(self):
+        values = [7] * 50 + list(range(100, 150))
+        stats = _stats_for(values)
+        sel = stats.eq_selectivity(110)
+        assert 0 < sel < 0.1
+
+    def test_range_selectivity_bounds(self):
+        stats = _stats_for(list(range(1000)))
+        assert stats.range_selectivity(None, None) == pytest.approx(1.0, abs=0.02)
+        assert stats.range_selectivity(5000, None) == pytest.approx(0.0, abs=0.01)
+        half = stats.range_selectivity(None, 499)
+        assert half == pytest.approx(0.5, abs=0.06)
+
+    def test_range_selectivity_monotone(self):
+        stats = _stats_for(list(range(1000)))
+        sels = [stats.range_selectivity(None, hi) for hi in (100, 300, 700, 900)]
+        assert sels == sorted(sels)
+
+    def test_true_distinct_exact(self):
+        values = [1, 1, 2, 3, 3, 3]
+        stats = _stats_for(values)
+        assert stats.true_distinct == 3
+
+    def test_empty_column(self):
+        stats = _stats_for([], sample_size=0)
+        assert stats.n_distinct == 0
+        assert stats.true_distinct == 0
+
+
+class TestAnalyzeTable:
+    def test_all_columns_covered(self):
+        table = Table(
+            "t",
+            [Column("a", [1, 2, 3]), Column("s", ["x", "y", "z"], kind="str")],
+        )
+        stats = analyze_table(table)
+        assert set(stats.columns) == {"a", "s"}
+        assert stats.n_rows == 3
+
+    def test_string_column_stats_in_code_space(self):
+        table = Table("t", [Column("s", ["a"] * 9 + ["b"], kind="str")])
+        stats = analyze_table(table)
+        # code 0 = 'a' has frequency 0.9
+        assert stats.column("s").eq_selectivity(0) == pytest.approx(0.9)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 50), min_size=2, max_size=300),
+)
+def test_statistics_invariants(values):
+    stats = _stats_for(values)
+    assert 0 <= stats.null_frac <= 1
+    assert stats.n_distinct <= len(values)
+    assert stats.n_distinct >= 1
+    assert stats.true_distinct == len(set(values))
+    assert 0 <= stats.histogram_frac <= 1
+    # selectivities stay in [0, 1]
+    for v in (0, 25, 50):
+        assert 0 <= stats.eq_selectivity(v) <= 1
+    assert 0 <= stats.range_selectivity(10, 40) <= 1

@@ -1,0 +1,165 @@
+"""Connected-subgraph and csg–cmp enumeration, checked against brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.join_graph import JoinGraph
+from repro.query.query import JoinEdge, Query, Relation
+from repro.query.subgraphs import (
+    SubgraphCatalog,
+    connected_subsets,
+    csg_cmp_pairs,
+)
+from repro.util.bitset import bit_indices, popcount
+
+
+def _graph_from_edges(n, edges):
+    relations = [Relation(f"r{i}", f"t{i}") for i in range(n)]
+    joins = [
+        JoinEdge(f"r{i}", "x", f"r{j}", "y", "fk_fk") for i, j in edges
+    ]
+    return JoinGraph(Query("g", relations, {}, joins))
+
+
+def _brute_force_csgs(graph, max_size=None):
+    n = graph.n
+    cap = max_size if max_size is not None else n
+    out = []
+    for mask in range(1, 1 << n):
+        if popcount(mask) <= cap and graph.is_connected(mask):
+            out.append(mask)
+    return sorted(out, key=lambda s: (popcount(s), s))
+
+
+def _chain(n):
+    return _graph_from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def _star(n_leaves):
+    return _graph_from_edges(n_leaves + 1, [(0, i + 1) for i in range(n_leaves)])
+
+
+def _cycle(n):
+    return _graph_from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+class TestConnectedSubsets:
+    def test_chain_count(self):
+        # a chain of n vertices has n(n+1)/2 connected subsets
+        for n in (2, 3, 5, 7):
+            assert len(connected_subsets(_chain(n))) == n * (n + 1) // 2
+
+    def test_star_count(self):
+        # hub + k leaves: 2^k subsets containing the hub, + k singletons
+        for k in (2, 3, 5):
+            assert len(connected_subsets(_star(k))) == 2**k + k
+
+    def test_matches_brute_force(self):
+        for graph in (_chain(5), _star(4), _cycle(5)):
+            assert connected_subsets(graph) == _brute_force_csgs(graph)
+
+    def test_max_size_cap(self):
+        graph = _chain(6)
+        capped = connected_subsets(graph, max_size=3)
+        assert capped == _brute_force_csgs(graph, max_size=3)
+
+    def test_no_duplicates(self):
+        for graph in (_chain(6), _star(5), _cycle(6)):
+            subs = connected_subsets(graph)
+            assert len(subs) == len(set(subs))
+
+
+class TestCsgCmpPairs:
+    def _check_pairs(self, graph):
+        pairs = csg_cmp_pairs(graph)
+        seen = set()
+        for s1, s2 in pairs:
+            assert s1 & s2 == 0, "disjoint"
+            assert graph.is_connected(s1)
+            assert graph.is_connected(s2)
+            assert graph.connects(s1, s2), "edge between the halves"
+            key = frozenset((s1, s2))
+            assert key not in seen, "each unordered pair exactly once"
+            seen.add(key)
+        return pairs
+
+    def test_validity(self):
+        for graph in (_chain(5), _star(4), _cycle(5)):
+            self._check_pairs(graph)
+
+    def test_counts_vs_brute_force(self):
+        for graph in (_chain(4), _star(3), _cycle(4)):
+            pairs = self._check_pairs(graph)
+            expected = 0
+            csgs = set(connected_subsets(graph))
+            for s1, s2 in itertools.combinations(sorted(csgs), 2):
+                if s1 & s2 == 0 and graph.connects(s1, s2):
+                    expected += 1
+            assert len(pairs) == expected
+
+    def test_sorted_by_union_size(self):
+        pairs = csg_cmp_pairs(_chain(5))
+        sizes = [popcount(a | b) for a, b in pairs]
+        assert sizes == sorted(sizes)
+
+
+class TestSubgraphCatalog:
+    def test_expansion_parent_property(self):
+        graph = _star(4)
+        catalog = SubgraphCatalog(graph)
+        for subset in catalog.csgs:
+            if popcount(subset) < 2:
+                continue
+            parent, bit = catalog.expansion_parent(subset)
+            assert parent | bit == subset
+            assert parent & bit == 0
+            assert popcount(bit) == 1
+            assert graph.is_connected(parent)
+            assert graph.connects(parent, bit)
+
+    def test_singleton_parent_rejected(self):
+        catalog = SubgraphCatalog(_chain(3))
+        with pytest.raises(ValueError):
+            catalog.expansion_parent(0b001)
+
+    def test_is_csg(self):
+        catalog = SubgraphCatalog(_chain(3))
+        assert catalog.is_csg(0b011)
+        assert not catalog.is_csg(0b101)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(3, 7), st.data())
+def test_random_graphs_match_brute_force(n, data):
+    # random connected graph: spanning path + random extra edges
+    edges = [(i, i + 1) for i in range(n - 1)]
+    extra = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=5,
+        )
+    )
+    for i, j in extra:
+        if i != j:
+            edges.append((min(i, j), max(i, j)))
+    graph = _graph_from_edges(n, edges)
+    assert connected_subsets(graph) == _brute_force_csgs(graph)
+    # every pair in the pair list joins two already-enumerated csgs
+    csgs = set(connected_subsets(graph))
+    for s1, s2 in csg_cmp_pairs(graph):
+        assert s1 in csgs and s2 in csgs
+        assert (s1 | s2) in csgs
+
+
+def test_pairs_cover_all_composite_csgs():
+    """DP completeness: every composite csg appears as some pair's union."""
+    for graph in (_chain(5), _star(4), _cycle(5)):
+        unions = {s1 | s2 for s1, s2 in csg_cmp_pairs(graph)}
+        for subset in connected_subsets(graph):
+            if popcount(subset) >= 2:
+                assert subset in unions, (
+                    f"csg {bit_indices(subset)} unreachable by DP"
+                )

@@ -1,0 +1,112 @@
+"""Tests for Table and Database catalog objects."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.column import Column
+from repro.catalog.schema import Database, ForeignKey
+from repro.catalog.table import Table
+from repro.errors import CatalogError
+
+
+def _table(name="t", n=10, pk="id"):
+    return Table(
+        name,
+        [Column("id", np.arange(n)), Column("v", np.arange(n) % 3)],
+        primary_key=pk,
+    )
+
+
+class TestTable:
+    def test_basic(self):
+        t = _table()
+        assert t.n_rows == 10
+        assert "id" in t and "v" in t and "nope" not in t
+        assert t.column("v").values.tolist() == [0, 1, 2] * 3 + [0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a", [1]), Column("a", [2])])
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a", [1])], primary_key="id")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            _table().column("nope")
+
+    def test_n_pages_positive(self):
+        assert _table(n=1).n_pages >= 1
+        assert _table(n=100000).n_pages > _table(n=10).n_pages
+
+    def test_sample_deterministic_and_unique(self):
+        t = _table(n=1000)
+        s1 = t.sample_row_ids(50, seed=3)
+        s2 = t.sample_row_ids(50, seed=3)
+        assert np.array_equal(s1, s2)
+        assert len(np.unique(s1)) == 50
+        s3 = t.sample_row_ids(50, seed=4)
+        assert not np.array_equal(s1, s3)
+
+    def test_sample_caps_at_table_size(self):
+        t = _table(n=5)
+        assert len(t.sample_row_ids(100)) == 5
+
+    def test_sample_table(self):
+        t = _table(n=100)
+        s = t.sample(10, seed=1)
+        assert s.n_rows == 10
+        assert s.primary_key == "id"
+        assert set(s.columns) == {"id", "v"}
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        db = Database("d")
+        db.add_table(_table("a"))
+        assert db.table("a").name == "a"
+        with pytest.raises(CatalogError):
+            db.table("missing")
+
+    def test_duplicate_table_rejected(self):
+        db = Database("d")
+        db.add_table(_table("a"))
+        with pytest.raises(CatalogError):
+            db.add_table(_table("a"))
+
+    def test_foreign_key_validation(self):
+        db = Database("d")
+        db.add_table(_table("a"))
+        db.add_table(_table("b"))
+        db.add_foreign_key(ForeignKey("a", "v", "b", "id"))
+        assert db.is_foreign_key("a", "v")
+        assert not db.is_foreign_key("b", "v")
+        with pytest.raises(CatalogError):
+            db.add_foreign_key(ForeignKey("a", "nope", "b", "id"))
+        with pytest.raises(CatalogError):
+            db.add_foreign_key(ForeignKey("a", "v", "b", "nope"))
+
+    def test_pk_detection(self):
+        db = Database("d")
+        db.add_table(_table("a"))
+        assert db.is_primary_key("a", "id")
+        assert not db.is_primary_key("a", "v")
+
+    def test_total_rows(self):
+        db = Database("d")
+        db.add_table(_table("a", n=3))
+        db.add_table(_table("b", n=4))
+        assert db.total_rows == 7
+
+    def test_foreign_keys_of(self):
+        db = Database("d")
+        db.add_table(_table("a"))
+        db.add_table(_table("b"))
+        fk = db.add_foreign_key(ForeignKey("a", "v", "b", "id"))
+        assert db.foreign_keys_of("a") == [fk]
+        assert db.foreign_keys_of("b") == []

@@ -1,0 +1,144 @@
+"""The exact-cardinality oracle, cross-checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.cardinality import TrueCardinalities
+from repro.errors import EstimationError
+from repro.query.predicates import Comparison
+from repro.query.query import JoinEdge, Query, Relation
+
+
+def _toy_query(selections=None):
+    """fact ⋈ dim_a ⋈ dim_b star over the hand-built toy database."""
+    return Query(
+        "toy",
+        [Relation("f", "fact"), Relation("a", "dim_a"), Relation("b", "dim_b")],
+        selections or {},
+        [
+            JoinEdge("f", "a_id", "a", "id", "pk_fk", pk_side="a"),
+            JoinEdge("f", "b_id", "b", "id", "pk_fk", pk_side="b"),
+        ],
+    )
+
+
+F, A, B = 0b001, 0b010, 0b100
+
+
+class TestToyTruth:
+    def test_base_cards(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        card = truth.bind(q)
+        assert card(F) == 8
+        assert card(A) == 5
+        assert card(B) == 3
+
+    def test_base_with_selection(self, toy_db):
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        card = TrueCardinalities(toy_db).bind(q)
+        assert card(A) == 2  # ids 3 and 5
+
+    def test_pk_fk_join_preserves_fact(self, toy_db):
+        # every fact row matches exactly one dim row
+        card = TrueCardinalities(toy_db).bind(_toy_query())
+        assert card(F | A) == 8
+        assert card(F | B) == 8
+        assert card(F | A | B) == 8
+
+    def test_join_with_selection(self, toy_db):
+        # blue dims are ids {3, 5}; fact rows with a_id in {3, 5}: 2
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        card = TrueCardinalities(toy_db).bind(q)
+        assert card(F | A) == 2
+
+    def test_unfiltered_intermediate(self, toy_db):
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        card = TrueCardinalities(toy_db).bind(q)
+        assert card(F | A) == 2
+        # dropping dim_a's selection restores the full PK-FK join
+        assert card.unfiltered(F | A, "a") == 8
+
+    def test_unfiltered_base(self, toy_db):
+        q = _toy_query({"a": Comparison("color", "=", "blue")})
+        card = TrueCardinalities(toy_db).bind(q)
+        assert card.unfiltered(A, "a") == 5
+
+    def test_disconnected_subset_rejected(self, toy_db):
+        card = TrueCardinalities(toy_db).bind(_toy_query())
+        with pytest.raises(EstimationError):
+            card(A | B)  # dims are not adjacent
+
+    def test_unfiltered_alias_outside_subset_rejected(self, toy_db):
+        card = TrueCardinalities(toy_db).bind(_toy_query())
+        with pytest.raises(EstimationError):
+            card.unfiltered(F, "a")
+
+    def test_compute_all(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        counts = truth.compute_all(q)
+        assert counts[F | A | B] == 8
+        # f, a, b, fa, fb, fab — the disconnected {a,b} subset is skipped
+        assert len(counts) == 6
+
+    def test_max_rows_guard(self, toy_db):
+        truth = TrueCardinalities(toy_db, max_rows=3)
+        card = truth.bind(_toy_query())
+        with pytest.raises(EstimationError):
+            card(F | A)
+
+
+class TestTruthVsBruteForce:
+    def test_fk_fk_multiplicity(self, toy_db):
+        """An n:m self-pairing through fact must count multiplicities."""
+        q = Query(
+            "nm",
+            [Relation("f1", "fact"), Relation("f2", "fact")],
+            {},
+            [JoinEdge("f1", "a_id", "f2", "a_id", "fk_fk")],
+        )
+        card = TrueCardinalities(toy_db).bind(q)
+        a_ids = toy_db.table("fact").column("a_id").values
+        expected = sum(
+            int(np.sum(a_ids == v) ** 2) for v in np.unique(a_ids)
+        )
+        assert card(0b11) == expected
+
+    def test_matches_brute_force_on_imdb_subgraph(self, imdb_tiny):
+        """3-relation star on real generated data vs a numpy brute force."""
+        q = Query(
+            "check",
+            [
+                Relation("t", "title"),
+                Relation("mc", "movie_companies"),
+                Relation("mk", "movie_keyword"),
+            ],
+            {"t": Comparison("production_year", ">", 2005)},
+            [
+                JoinEdge("mc", "movie_id", "t", "id", "pk_fk", pk_side="t"),
+                JoinEdge("mk", "movie_id", "t", "id", "pk_fk", pk_side="t"),
+            ],
+        )
+        card = TrueCardinalities(imdb_tiny).bind(q)
+        t = imdb_tiny.table("title")
+        years = t.column("production_year").values
+        sel_ids = t.column("id").values[
+            (years > 2005) & ~t.column("production_year").null_mask
+        ]
+        mc_movie = imdb_tiny.table("movie_companies").column("movie_id").values
+        mk_movie = imdb_tiny.table("movie_keyword").column("movie_id").values
+        expected = 0
+        for tid in sel_ids:
+            expected += int(np.sum(mc_movie == tid)) * int(
+                np.sum(mk_movie == tid)
+            )
+        assert card(0b111) == expected
+
+    def test_cached_results_stable(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        card = truth.bind(q)
+        first = card(F | A | B)
+        truth.release(q)
+        assert card(F | A | B) == first

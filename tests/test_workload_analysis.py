@@ -1,0 +1,39 @@
+"""Workload profiling utilities."""
+
+import pytest
+
+from repro.workloads import job_queries
+from repro.workloads.analysis import profile_workload
+
+
+def test_job_profile_matches_paper_shape():
+    profile = profile_workload(job_queries())
+    assert profile.n_queries == 113
+    assert 3 <= min(profile.join_counts)
+    assert max(profile.join_counts) <= 13
+    assert 6.0 <= profile.mean_joins <= 9.0
+    # both solid (PK-FK) and dotted (FK-FK) edges, like Figure 2
+    assert profile.edge_kinds["pk_fk"] > profile.edge_kinds["fk_fk"] > 0
+    # transitive predicates make a meaningful share of graphs cyclic
+    assert profile.cyclic_queries >= 30
+    # the predicate mix covers the kinds Section 2.2 mentions
+    for kind in ("equality", "range", "like", "in-list", "disjunction"):
+        assert profile.predicate_kinds[kind] > 0, kind
+
+
+def test_profile_render():
+    profile = profile_workload(job_queries()[:10])
+    out = profile.render()
+    assert "Workload profile" in out
+    assert "predicate kind" in out
+
+
+def test_empty_workload_rejected():
+    with pytest.raises(ValueError):
+        profile_workload([])
+
+
+def test_search_space_recorded():
+    profile = profile_workload(job_queries()[:5])
+    assert len(profile.search_space) == 5
+    assert all(s > 0 for s in profile.search_space)

@@ -1,0 +1,102 @@
+"""The JOB workload: 113 queries, 33 structures, paper-matching shape."""
+
+import numpy as np
+import pytest
+
+from repro.query.join_graph import JoinGraph
+from repro.workloads import (
+    JOB_QUERIES,
+    TPCH_QUERIES,
+    job_queries,
+    job_query,
+    tpch_queries,
+)
+
+
+class TestJobShape:
+    def test_113_queries(self):
+        assert len(JOB_QUERIES) == 113
+
+    def test_33_structures(self):
+        structures = {name.rstrip("abcdef") for name in JOB_QUERIES}
+        assert structures == {str(i) for i in range(1, 34)}
+
+    def test_variants_per_structure_2_to_6(self):
+        counts = {}
+        for name in JOB_QUERIES:
+            counts.setdefault(name.rstrip("abcdef"), 0)
+            counts[name.rstrip("abcdef")] += 1
+        assert all(2 <= c <= 6 for c in counts.values())
+
+    def test_join_counts_in_paper_range(self):
+        joins = [q.n_joins for q in job_queries()]
+        assert min(joins) >= 3
+        assert max(joins) <= 13
+        assert 6.0 <= float(np.mean(joins)) <= 9.5, (
+            "paper: between 3 and 16 joins, 8 on average"
+        )
+
+    def test_variants_share_structure(self):
+        """Variants of one structure differ only in selections."""
+        q13a, q13d = job_query("13a"), job_query("13d")
+        assert [r.table for r in q13a.relations] == [
+            r.table for r in q13d.relations
+        ]
+        assert len(q13a.joins) == len(q13d.joins)
+        assert q13a.selections != q13d.selections
+
+    def test_example_query_13d(self):
+        """The paper's running example: US production companies with
+        ratings and release dates over 9 relations."""
+        q = job_query("13d")
+        tables = {r.table for r in q.relations}
+        assert tables == {
+            "title", "movie_companies", "company_name", "company_type",
+            "movie_info", "movie_info_idx", "info_type", "kind_type",
+        }
+        assert q.n_relations == 9  # info_type appears twice
+
+    def test_queries_validate_against_imdb(self, imdb_tiny):
+        for q in job_queries():
+            q.validate_against(imdb_tiny)
+
+    def test_join_graphs_connected(self):
+        for q in job_queries():
+            graph = JoinGraph(q)
+            assert graph.is_connected(q.all_mask), q.name
+
+    def test_fk_fk_dotted_edges_exist(self):
+        """Figure 2 shows transitive n:m edges; the workload must contain
+        them (they create the cyclic graphs and the estimator
+        consistency artifacts)."""
+        kinds = {e.kind for q in job_queries() for e in q.joins}
+        assert kinds == {"pk_fk", "fk_fk"}
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            job_query("99z")
+
+    def test_all_joins_are_surrogate_int_keys(self, imdb_tiny):
+        for q in job_queries():
+            for e in q.joins:
+                for alias, col in (
+                    (e.left_alias, e.left_column),
+                    (e.right_alias, e.right_column),
+                ):
+                    table = imdb_tiny.table(q.relation_for(alias).table)
+                    assert table.column(col).kind == "int", (q.name, col)
+
+
+class TestTpchQueries:
+    def test_three_queries(self):
+        assert set(TPCH_QUERIES) == {"tpch5", "tpch8", "tpch10"}
+
+    def test_validate_and_connected(self, tpch_tiny):
+        for q in tpch_queries():
+            q.validate_against(tpch_tiny)
+            assert JoinGraph(q).is_connected(q.all_mask)
+
+    def test_q8_has_two_nation_roles(self):
+        q = TPCH_QUERIES["tpch8"]
+        nation_aliases = [r.alias for r in q.relations if r.table == "nation"]
+        assert len(nation_aliases) == 2
