@@ -23,6 +23,8 @@ these through ``unfiltered_alias``.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,23 +71,61 @@ class TrueCardinalities(CardinalityEstimator):
         Safety valve: materialising any single intermediate beyond this
         row count raises :class:`~repro.errors.EstimationError` instead of
         exhausting memory.
+    max_cached_queries:
+        Upper bound on the per-query states the oracle itself keeps alive.
+        States are held in a weak-value cache plus a bounded LRU pin: a
+        workload sweep over thousands of fresh query objects therefore
+        cannot grow the cache without bound (the seed keyed states by
+        ``id(query)`` forever, so recycled ids silently left dead states
+        resident), while a state pinned elsewhere — e.g. by a pipeline
+        work unit — stays findable for as long as it lives.
     """
 
     name = "true"
 
-    def __init__(self, db: Database, max_rows: int = 50_000_000) -> None:
+    def __init__(
+        self,
+        db: Database,
+        max_rows: int = 50_000_000,
+        max_cached_queries: int = 32,
+    ) -> None:
         self.db = db
         self.max_rows = max_rows
-        self._states: dict[int, _QueryState] = {}
+        self.max_cached_queries = max_cached_queries
+        self._states: "weakref.WeakValueDictionary[int, _QueryState]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._recent: "OrderedDict[int, _QueryState]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
 
     def _state(self, query: Query) -> _QueryState:
-        state = self._states.get(id(query))
+        key = id(query)
+        state = self._states.get(key)
         if state is None or state.query is not query:
             state = _QueryState(query)
-            self._states[id(query)] = state
+            self._states[key] = state
+        # LRU pin: a live pin keeps the state's query alive, so a pinned
+        # entry's id can never be recycled to a different query
+        self._recent[key] = state
+        self._recent.move_to_end(key)
+        while len(self._recent) > self.max_cached_queries:
+            self._recent.popitem(last=False)
         return state
+
+    def cached_state_count(self) -> int:
+        """Number of live per-query states (used by cache-lifetime tests)."""
+        return len(self._states)
+
+    def pin(self, query: Query) -> object:
+        """A strong handle to ``query``'s cache state.
+
+        Holding the returned (opaque) object keeps the state alive beyond
+        the oracle's bounded LRU — a pipeline workspace pins its query so
+        that counts preloaded from disk or computed by one experiment
+        module survive for every later module sharing the workspace.
+        """
+        return self._state(query)
 
     def cardinality(
         self, query: Query, subset: int, unfiltered_alias: str | None = None
@@ -285,5 +325,52 @@ class TrueCardinalities(CardinalityEstimator):
     def release(self, query: Query) -> None:
         """Drop all materialisations for ``query`` (counts are kept)."""
         state = self._states.get(id(query))
-        if state is not None:
+        if state is not None and state.query is query:
             state.results.clear()
+
+    def forget(self, query: Query) -> None:
+        """Explicitly evict every cached artefact of ``query``."""
+        key = id(query)
+        state = self._states.get(key)
+        if state is not None and state.query is query:
+            self._recent.pop(key, None)
+            self._states.pop(key, None)
+
+    def clear_cache(self) -> None:
+        """Explicitly evict all per-query states."""
+        self._recent.clear()
+        self._states.clear()
+
+    # ------------------------------------------------------------------ #
+    # count import/export (disk-persistable truth caches)
+    # ------------------------------------------------------------------ #
+
+    def export_counts(
+        self, query: Query
+    ) -> tuple[dict[int, int], dict[tuple[int, str], int]]:
+        """Snapshot of the exact counts computed so far for ``query``.
+
+        Returns ``(counts, unfiltered_counts)`` — both JSON-serialisable
+        after key stringification; see
+        :class:`~repro.pipeline.truthstore.TruthStore`.
+        """
+        state = self._state(query)
+        return dict(state.counts), dict(state.unfiltered_counts)
+
+    def preload(
+        self,
+        query: Query,
+        counts: dict[int, int],
+        unfiltered_counts: dict[tuple[int, str], int] | None = None,
+    ) -> None:
+        """Seed the per-query caches with previously exported exact counts.
+
+        Counts are ground truth for a given database, so preloading them
+        (e.g. from a disk cache keyed by the database's generator
+        parameters) lets a fresh process skip the exhaustive bottom-up
+        materialisation entirely.
+        """
+        state = self._state(query)
+        state.counts.update(counts)
+        if unfiltered_counts:
+            state.unfiltered_counts.update(unfiltered_counts)

@@ -7,6 +7,8 @@ Examples::
     python -m repro explain 13d --scale small
     python -m repro run table1 --scale small
     python -m repro run fig6 --queries 1a,6a,13d --scale tiny
+    python -m repro sweep --scale tiny --queries 1a,4a,6a --processes 4 \
+        --truth-cache .truth-cache --csv sweep.csv
 """
 
 from __future__ import annotations
@@ -135,6 +137,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.physical import IndexConfig
+    from repro.pipeline import EnumeratorConfig, SweepSpec, run_sweep
+    from repro.pipeline.resources import ESTIMATOR_ORDER
+    from repro.workloads import job_queries
+
+    if args.queries:
+        known = {q.name for q in job_queries()}
+        bad = [n for n in args.queries.split(",") if n not in known]
+        if bad:
+            print(
+                f"unknown query name(s): {', '.join(bad)} "
+                "(see `repro list`)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.estimators:
+        estimators = tuple(args.estimators.split(","))
+        unknown = [e for e in estimators if e not in ESTIMATOR_ORDER]
+        if unknown:
+            print(
+                f"unknown estimator(s) {', '.join(unknown)}; "
+                f"choose from: {', '.join(ESTIMATOR_ORDER)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        estimators = tuple(ESTIMATOR_ORDER)
+    index_names = args.indexes.split(",")
+    bad = [n for n in index_names if n not in IndexConfig.__members__]
+    if bad:
+        print(
+            f"unknown index config(s) {', '.join(bad)}; "
+            f"choose from: {', '.join(IndexConfig.__members__)}",
+            file=sys.stderr,
+        )
+        return 2
+    configs = tuple(
+        EnumeratorConfig(name.lower().replace("_", "+"), IndexConfig[name])
+        for name in index_names
+    )
+    spec = SweepSpec(
+        scale=args.scale,
+        seed=args.seed,
+        query_names=(
+            tuple(args.queries.split(",")) if args.queries else None
+        ),
+        estimators=estimators,
+        configs=configs,
+    )
+    result = run_sweep(
+        spec, processes=args.processes, truth_root=args.truth_cache
+    )
+    print(result.render())
+    if args.csv:
+        path = result.to_csv(args.csv)
+        print(f"\nwrote {len(result.rows)} rows to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +247,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated JOB query names (default: all 113)",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batch-optimize the (query x estimator x config) grid",
+    )
+    p_sweep.add_argument("--scale", default="tiny",
+                         choices=["tiny", "small", "medium"])
+    p_sweep.add_argument("--seed", type=int, default=42)
+    p_sweep.add_argument(
+        "--queries", default=None,
+        help="comma-separated JOB query names (default: all 113)",
+    )
+    p_sweep.add_argument(
+        "--estimators", default=None,
+        help="comma-separated estimator names (default: all five)",
+    )
+    p_sweep.add_argument(
+        "--indexes", default="PK,PK_FK",
+        help="comma-separated index configs out of NONE,PK,PK_FK",
+    )
+    p_sweep.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes (1 = sequential; results are identical)",
+    )
+    p_sweep.add_argument(
+        "--truth-cache", default=None, metavar="DIR",
+        help="directory for the persistent exact-cardinality store",
+    )
+    p_sweep.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="also write the rows as CSV",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

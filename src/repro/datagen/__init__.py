@@ -10,4 +10,10 @@
 from repro.datagen.imdb import IMDB_SCALES, generate_imdb
 from repro.datagen.tpch import generate_tpch
 
-__all__ = ["generate_imdb", "generate_tpch", "IMDB_SCALES"]
+#: bump whenever generator output changes for a fixed (scale, seed,
+#: correlation) — persistent caches of derived ground truth (e.g. the
+#: pipeline's TruthStore) key on it, so a stale cache can never be
+#: mistaken for exact counts of the new data
+DATAGEN_VERSION = 1
+
+__all__ = ["generate_imdb", "generate_tpch", "IMDB_SCALES", "DATAGEN_VERSION"]

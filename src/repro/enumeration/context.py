@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.plans.plan import ScanNode
 from repro.query.join_graph import JoinGraph
 from repro.query.query import Query
-from repro.query.subgraphs import SubgraphCatalog
+from repro.query.subgraphs import catalog_for
 
 
 class QueryContext:
@@ -20,7 +20,7 @@ class QueryContext:
     def __init__(self, query: Query) -> None:
         self.query = query
         self.graph = JoinGraph(query)
-        self.catalog = SubgraphCatalog(self.graph)
+        self.catalog = catalog_for(self.graph)
 
     def scan_node(self, rel_index: int) -> ScanNode:
         """A fresh scan leaf for the relation at ``rel_index``."""

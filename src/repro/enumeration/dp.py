@@ -81,11 +81,11 @@ class DPEnumerator:
             cost = self.cost_model.scan_cost(scan, card)
             best[scan.subset] = (cost, scan)
 
-        for s1, s2 in context.catalog.pairs:
+        # pair_edges is precomputed once per catalog: re-optimizing the
+        # same query under another estimator or cost model skips the
+        # edges_between derivation for every csg–cmp pair
+        for s1, s2, edges in context.catalog.pair_edges:
             union = s1 | s2
-            edges = context.graph.edges_between(s1, s2)
-            if not edges:
-                continue
             current = best.get(union)
             for a, b in ((s1, s2), (s2, s1)):
                 entry_a = best.get(a)

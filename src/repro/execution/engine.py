@@ -135,12 +135,22 @@ def _join_indices(
 
 def _hash_buckets(ctx: ExecutionContext, node: JoinNode, build_rows: int) -> int:
     """Number of hash buckets: from the actual build size when rehashing,
-    from the planner estimate otherwise (PostgreSQL 9.4 vs 9.5)."""
+    from the planner estimate otherwise (PostgreSQL 9.4 vs 9.5).
+
+    Estimates are only trusted within the range that matters: a NaN,
+    infinite, or otherwise out-of-range ``est_rows`` is clamped to the
+    actual build size (``int(inf)`` raises ``OverflowError``, and a huge
+    finite estimate would size an absurd bucket array; above the build
+    size the chain length is 1 either way, so clamping is behaviour-
+    preserving for every finite estimate)."""
     if ctx.config.rehash:
         basis = build_rows
     else:
         est = node.left.est_rows
-        basis = int(est) if est == est else build_rows  # NaN -> actual
+        if np.isfinite(est):
+            basis = int(min(est, max(build_rows, 1)))
+        else:
+            basis = build_rows  # NaN/inf -> actual
     basis = max(basis, ctx.config.min_buckets)
     return 1 << int(np.ceil(np.log2(basis)))
 

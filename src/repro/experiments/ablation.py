@@ -68,9 +68,10 @@ def cmm_parameter_sweep(
     reference_costs: dict[str, float] = {}
     dp_ref = DPEnumerator(reference_model, design, allow_nlj=False)
     for query in suite.queries:
-        plan, _ = dp_ref.optimize(suite.context(query), suite.true_card(query))
+        ws = suite.workspace(query)
+        plan, _ = dp_ref.optimize(ws.context, ws.true_card)
         reference_costs[query.name] = max(
-            plan_cost(plan, reference_model, suite.true_card(query)), 1e-9
+            plan_cost(plan, reference_model, ws.true_card), 1e-9
         )
     relative: dict[tuple[float, float], float] = {}
     for tau in taus:
@@ -79,8 +80,9 @@ def cmm_parameter_sweep(
             dp = DPEnumerator(model, design, allow_nlj=False)
             ratios = []
             for query in suite.queries:
-                tcard = suite.true_card(query)
-                plan, _ = dp.optimize(suite.context(query), tcard)
+                ws = suite.workspace(query)
+                tcard = ws.true_card
+                plan, _ = dp.optimize(ws.context, tcard)
                 # evaluate what this parameterisation *chose* under the
                 # reference cost metric
                 true_cost = plan_cost(plan, reference_model, tcard)
@@ -122,8 +124,9 @@ def quickpick_sample_sweep(
     stats: dict[int, tuple[float, float]] = {}
     per_size_ratios: dict[int, list[float]] = {n: [] for n in sample_sizes}
     for query in suite.queries:
-        ctx = suite.context(query)
-        tcard = suite.true_card(query)
+        ws = suite.workspace(query)
+        ctx = ws.context
+        tcard = ws.true_card
         _, optimal = dp.optimize(ctx, tcard)
         optimal = max(optimal, 1e-9)
         for n in sample_sizes:
@@ -260,12 +263,12 @@ def join_sampling_comparison(
     }
     q_errors: dict[str, list[float]] = {"PostgreSQL": [], "join-sampling": []}
     for query in suite.queries:
-        ctx = suite.context(query)
-        suite.truth.compute_all(query, max_size=max_subexpr_size)
-        tcard = suite.true_card(query)
-        pg_card = suite.card("PostgreSQL", query)
+        ws = suite.workspace(query)
+        ws.compute_truth(max_size=max_subexpr_size)
+        tcard = ws.true_card
+        pg_card = ws.card("PostgreSQL")
         js_card = js.bind(query)
-        for subset in connected_subsets(ctx.graph, max_size=max_subexpr_size):
+        for subset in connected_subsets(ws.graph, max_size=max_subexpr_size):
             joins = popcount(subset) - 1
             true_rows = tcard(subset)
             for name, card in (("PostgreSQL", pg_card),

@@ -67,13 +67,11 @@ def run(suite: ExperimentSuite, max_subexpr_size: int = 7) -> Fig3Result:
         name: {} for name in ESTIMATOR_ORDER
     }
     for query in suite.queries:
-        ctx = suite.context(query)
-        suite.truth.compute_all(query, max_size=max_subexpr_size)
-        true_card = suite.true_card(query)
-        subsets = connected_subsets(ctx.graph, max_size=max_subexpr_size)
-        cards = {
-            name: suite.card(name, query) for name in ESTIMATOR_ORDER
-        }
+        ws = suite.workspace(query)
+        ws.compute_truth(max_size=max_subexpr_size)
+        true_card = ws.true_card
+        subsets = connected_subsets(ws.graph, max_size=max_subexpr_size)
+        cards = {name: ws.card(name) for name in ESTIMATOR_ORDER}
         for subset in subsets:
             joins = popcount(subset) - 1
             true_rows = true_card(subset)

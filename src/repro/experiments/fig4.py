@@ -71,12 +71,12 @@ def run(
 
     # JOB side: reuse the suite's database and estimator
     for name in JOB_FIG4:
-        query = suite.query(name)
-        suite.truth.compute_all(query, max_size=max_subexpr_size)
+        ws = suite.workspace(suite.query(name))
+        ws.compute_truth(max_size=max_subexpr_size)
         ratios[name] = _query_ratios(
-            query,
-            suite.card("PostgreSQL", query),
-            suite.true_card(query),
+            ws.query,
+            ws.card("PostgreSQL"),
+            ws.true_card,
             max_subexpr_size,
         )
 

@@ -66,12 +66,12 @@ def run(suite: ExperimentSuite, max_subexpr_size: int = 7) -> Fig5Result:
         "true-distinct": {},
     }
     for query in suite.queries:
-        ctx = suite.context(query)
-        suite.truth.compute_all(query, max_size=max_subexpr_size)
-        true_card = suite.true_card(query)
+        ws = suite.workspace(query)
+        ws.compute_truth(max_size=max_subexpr_size)
+        true_card = ws.true_card
         d_card = default_est.bind(query)
         e_card = exact_est.bind(query)
-        for subset in connected_subsets(ctx.graph, max_size=max_subexpr_size):
+        for subset in connected_subsets(ws.graph, max_size=max_subexpr_size):
             joins = popcount(subset) - 1
             true_rows = true_card(subset)
             ratios["default"].setdefault(joins, []).append(

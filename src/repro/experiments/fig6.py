@@ -82,7 +82,7 @@ def run_injection(
         timeouts = 0
         for query in suite.queries:
             ratio, timed_out = runner.slowdown(
-                query, suite.card(name, query), config, scenario
+                query, suite.workspace(query).card(name), config, scenario
             )
             slowdowns.append(ratio)
             timeouts += int(timed_out)
@@ -110,7 +110,7 @@ def run_engine_ablation(
         timeouts = 0
         for query in suite.queries:
             ratio, timed_out = runner.slowdown(
-                query, suite.card(estimator, query), config, scenario
+                query, suite.workspace(query).card(estimator), config, scenario
             )
             slowdowns.append(ratio)
             timeouts += int(timed_out)

@@ -54,7 +54,7 @@ def run(
         runtimes: list[float] = []
         timeouts = 0
         for query in suite.queries:
-            card = suite.card(estimator, query)
+            card = suite.workspace(query).card(estimator)
             plan = runner.plan_for(query, card, config, scenario)
             ms, timed_out = runner.execute_ms(query, plan, config, scenario)
             optimal = runner.optimal_runtime(query, config, scenario)

@@ -123,12 +123,12 @@ def run(
         for source in CARD_SOURCES:
             panel = Panel(cost_model=model_name, card_source=source)
             for query in suite.queries:
+                ws = suite.workspace(query)
                 card = (
-                    suite.true_card(query)
-                    if source == "true"
-                    else suite.card("PostgreSQL", query)
+                    ws.true_card if source == "true"
+                    else ws.card("PostgreSQL")
                 )
-                plan, cost = dp.optimize(suite.context(query), card)
+                plan, cost = dp.optimize(ws.context, card)
                 ms, _ = runner.execute_ms(query, plan, config, scenario)
                 panel.costs.append(cost)
                 panel.runtimes_ms.append(ms)

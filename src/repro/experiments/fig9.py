@@ -89,9 +89,9 @@ def run(
     widths: dict[IndexConfig, list[float]] = {c: [] for c in CONFIGS}
 
     for name in names:
-        query = suite.query(name)
-        ctx = suite.context(query)
-        tcard = suite.true_card(query)
+        ws = suite.workspace(suite.query(name))
+        ctx = ws.context
+        tcard = ws.true_card
         # reference: optimal plan with FK indexes under true cards
         fk_design = suite.design(IndexConfig.PK_FK)
         dp = DPEnumerator(cost_model, fk_design, allow_nlj=False)

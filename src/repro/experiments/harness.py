@@ -1,48 +1,41 @@
 """Shared experiment infrastructure.
 
-An :class:`ExperimentSuite` owns one synthetic IMDB instance, the paper's
-five estimator analogues, the truth oracle, and per-query caches (query
-contexts, bound cardinality functions).  Every experiment module takes a
-suite so that expensive state — above all exact cardinalities — is
-computed once and shared.
-
-Estimator naming follows the paper's anonymisation:
-
-==============  =====================================================
-Display name    Implementation
-==============  =====================================================
-``PostgreSQL``  :class:`~repro.cardinality.postgres.PostgresEstimator`
-``DBMS A``      :class:`~repro.cardinality.profiles.DampedEstimator`
-``DBMS B``      :class:`~repro.cardinality.profiles.CoarseHistogramEstimator`
-``DBMS C``      :class:`~repro.cardinality.profiles.MagicConstantEstimator`
-``HyPer``       :class:`~repro.cardinality.sampling.SamplingEstimator`
-==============  =====================================================
+An :class:`ExperimentSuite` is the experiment-facing facade over the
+pipeline's :class:`~repro.pipeline.resources.WorkloadResources`: one
+synthetic IMDB instance, the paper's five estimator analogues, the truth
+oracle, and per-query workspaces (query contexts, bound cardinality
+functions).  Every experiment module takes a suite so that expensive
+state — above all exact cardinalities and subgraph catalogs — is
+computed once and shared; the estimator naming table lives with the
+line-up in :mod:`repro.pipeline.resources`.
 """
 
 from __future__ import annotations
 
-from repro.cardinality import (
-    CoarseHistogramEstimator,
-    DampedEstimator,
-    MagicConstantEstimator,
-    PostgresEstimator,
-    SamplingEstimator,
-    TrueCardinalities,
-)
-from repro.cardinality.base import BoundCard, CardinalityEstimator
-from repro.catalog.schema import Database
+from repro.cardinality.base import BoundCard
 from repro.datagen import generate_imdb
 from repro.enumeration import QueryContext
-from repro.physical import IndexConfig, PhysicalDesign
+from repro.pipeline.resources import (
+    ESTIMATOR_ORDER,
+    QueryWorkspace,
+    WorkloadResources,
+    standard_estimators,
+)
+from repro.catalog.schema import Database
 from repro.query.query import Query
 from repro.workloads import job_queries, job_query
 
-#: the paper's estimator line-up, in Table 1 / Figure 3 order
-ESTIMATOR_ORDER = ["PostgreSQL", "DBMS A", "DBMS B", "DBMS C", "HyPer"]
+__all__ = ["ESTIMATOR_ORDER", "ExperimentSuite"]
 
 
-class ExperimentSuite:
-    """One database + workload + estimators, with caching."""
+class ExperimentSuite(WorkloadResources):
+    """One database + workload + estimators, with per-query workspaces.
+
+    The legacy accessors (:meth:`context`, :meth:`card`,
+    :meth:`true_card`) delegate to the query's
+    :class:`~repro.pipeline.resources.QueryWorkspace`, so experiments and
+    the sweep driver share one cache.
+    """
 
     def __init__(
         self,
@@ -51,63 +44,44 @@ class ExperimentSuite:
         query_names: list[str] | None = None,
         db: Database | None = None,
         correlation: float = 0.8,
+        truth_store=None,
     ) -> None:
         self.scale = scale
         self.seed = seed
-        self.db = db if db is not None else generate_imdb(
-            scale, seed=seed, correlation=correlation
-        )
+        self.correlation = correlation
+        if db is None:
+            db = generate_imdb(scale, seed=seed, correlation=correlation)
         if query_names is None:
-            self.queries: list[Query] = job_queries()
+            queries: list[Query] = job_queries()
         else:
-            self.queries = [job_query(name) for name in query_names]
-        self.truth = TrueCardinalities(self.db)
-        self.estimators: dict[str, CardinalityEstimator] = {
-            "PostgreSQL": PostgresEstimator(self.db),
-            "DBMS A": DampedEstimator(self.db),
-            "DBMS B": CoarseHistogramEstimator(self.db),
-            "DBMS C": MagicConstantEstimator(self.db),
-            "HyPer": SamplingEstimator(self.db),
-        }
-        self._contexts: dict[str, QueryContext] = {}
-        self._cards: dict[tuple[str, str], BoundCard] = {}
-        self._designs: dict[IndexConfig, PhysicalDesign] = {}
+            queries = [job_query(name) for name in query_names]
+        super().__init__(
+            db=db,
+            queries=queries,
+            estimators=standard_estimators(db),
+            truth_store=truth_store,
+        )
 
+    # ------------------------------------------------------------------ #
+    # workspace-delegating accessors
     # ------------------------------------------------------------------ #
 
     def context(self, query: Query) -> QueryContext:
-        ctx = self._contexts.get(query.name)
-        if ctx is None:
-            ctx = QueryContext(query)
-            self._contexts[query.name] = ctx
-        return ctx
+        return self.workspace(query).context
 
     def card(self, estimator_name: str, query: Query) -> BoundCard:
         """Bound (memoised) cardinality function of a named estimator."""
-        key = (estimator_name, query.name)
-        card = self._cards.get(key)
-        if card is None:
-            card = self.estimators[estimator_name].bind(query)
-            self._cards[key] = card
-        return card
+        return self.workspace(query).card(estimator_name)
 
     def true_card(self, query: Query) -> BoundCard:
-        key = ("__truth__", query.name)
-        card = self._cards.get(key)
-        if card is None:
-            card = self.truth.bind(query)
-            self._cards[key] = card
-        return card
+        return self.workspace(query).true_card
 
-    def design(self, config: IndexConfig) -> PhysicalDesign:
-        design = self._designs.get(config)
-        if design is None:
-            design = PhysicalDesign(self.db, config)
-            self._designs[config] = design
-        return design
+    def compute_truth(
+        self, query: Query, max_size: int | None = None
+    ) -> dict[int, int]:
+        """Exact counts up to ``max_size`` (cached, store-aware)."""
+        return self.workspace(query).compute_truth(max_size=max_size)
 
-    def query(self, name: str) -> Query:
-        for q in self.queries:
-            if q.name == name:
-                return q
-        raise KeyError(f"query {name!r} is not part of this suite")
+    def workspaces(self) -> list[QueryWorkspace]:
+        """One workspace per workload query, in workload order."""
+        return [self.workspace(q) for q in self.queries]

@@ -79,7 +79,7 @@ class RuntimeRunner:
         # is fully cached, and Section 5 handles cost-model error separately)
         cost_model = TunedPostgresCostModel(self.suite.db)
         dp = DPEnumerator(cost_model, design, allow_nlj=scenario.allow_nlj)
-        plan, _ = dp.optimize(self.suite.context(query), card)
+        plan, _ = dp.optimize(self.suite.workspace(query).context, card)
         return plan
 
     def execute_ms(
@@ -105,7 +105,7 @@ class RuntimeRunner:
         cached = self._optimal_runtime.get(key)
         if cached is None:
             plan = self.plan_for(
-                query, self.suite.true_card(query), config, scenario
+                query, self.suite.workspace(query).true_card, config, scenario
             )
             cached, _ = self.execute_ms(query, plan, config, scenario)
             self._optimal_runtime[key] = cached

@@ -53,13 +53,14 @@ def run(suite: ExperimentSuite) -> Table1Result:
     q_errors: dict[str, list[float]] = {name: [] for name in ESTIMATOR_ORDER}
     n_selections = 0
     for query in suite.queries:
-        true_card = suite.true_card(query)
+        ws = suite.workspace(query)
+        true_card = ws.true_card
         for alias in query.selections:
             subset = query.alias_bit(alias)
             true_rows = true_card(subset)
             n_selections += 1
             for name in ESTIMATOR_ORDER:
-                est_rows = suite.card(name, query)(subset)
+                est_rows = ws.card(name)(subset)
                 q_errors[name].append(q_error(est_rows, true_rows))
     percentiles = {
         name: {

@@ -78,8 +78,9 @@ def run(suite: ExperimentSuite) -> Table2Result:
             for shape in SHAPES
         }
         for query in suite.queries:
-            ctx = suite.context(query)
-            tcard = suite.true_card(query)
+            ws = suite.workspace(query)
+            ctx = ws.context
+            tcard = ws.true_card
             _, bushy_cost = bushy_dp.optimize(ctx, tcard)
             for shape, dp in shape_dps.items():
                 _, cost = dp.optimize(ctx, tcard)

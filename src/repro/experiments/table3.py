@@ -82,14 +82,15 @@ def run(
         design = suite.design(config)
         dp = DPEnumerator(cost_model, design, allow_nlj=False)
         for query in suite.queries:
-            ctx = suite.context(query)
-            tcard = suite.true_card(query)
+            ws = suite.workspace(query)
+            ctx = ws.context
+            tcard = ws.true_card
             _, optimal_cost = dp.optimize(ctx, tcard)
             optimal_cost = max(optimal_cost, 1e-9)
             for source in SOURCES:
                 card = (
                     tcard if source == "true"
-                    else suite.card("PostgreSQL", query)
+                    else ws.card("PostgreSQL")
                 )
                 dp_plan, _ = dp.optimize(ctx, card)
                 qp_plan, _, _ = quickpick(

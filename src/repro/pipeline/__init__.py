@@ -1,0 +1,54 @@
+"""Workload-scale optimization pipeline.
+
+A batch driver for the paper's core cross product — every workload query
+× five estimator analogues × enumerator/physical-design configurations —
+with shared per-query structure, a disk-persistable exact-cardinality
+store, and optional ``multiprocessing`` fan-out whose results are
+bit-identical to the sequential path.
+
+=================  ===================================================
+Module             Provides
+=================  ===================================================
+``resources``      :class:`WorkloadResources` + :class:`QueryWorkspace`
+                   — the shared-state layer every experiment and the
+                   sweep driver build on
+``grid``           :class:`SweepSpec` / :class:`SweepRow` /
+                   :class:`SweepResult` — the declarative grid
+``driver``         :func:`run_sweep` — sequential & pooled execution
+``truthstore``     :class:`TruthStore` — exact counts keyed by
+                   ``(scale, seed, correlation, query name)``
+=================  ===================================================
+"""
+
+from repro.pipeline.grid import (
+    DEFAULT_CONFIGS,
+    EnumeratorConfig,
+    SweepResult,
+    SweepRow,
+    SweepSpec,
+)
+from repro.pipeline.resources import (
+    ESTIMATOR_ORDER,
+    QueryWorkspace,
+    WorkloadResources,
+    standard_estimators,
+)
+from repro.pipeline.driver import build_resources, run_sweep, sweep_query
+from repro.pipeline.truthstore import TruthPayload, TruthStore
+
+__all__ = [
+    "DEFAULT_CONFIGS",
+    "ESTIMATOR_ORDER",
+    "EnumeratorConfig",
+    "QueryWorkspace",
+    "SweepResult",
+    "SweepRow",
+    "SweepSpec",
+    "TruthPayload",
+    "TruthStore",
+    "WorkloadResources",
+    "build_resources",
+    "run_sweep",
+    "standard_estimators",
+    "sweep_query",
+]

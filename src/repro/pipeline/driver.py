@@ -1,0 +1,177 @@
+"""Batch optimization driver: fan the sweep grid across processes.
+
+The unit of work is **one query**: a work unit builds (or receives) the
+query's workspace — one subgraph catalog, one bound cardinality function
+per estimator — and walks every (estimator × enumerator-config) cell of
+the grid against it.  This is what makes the sweep cheap: the expensive
+per-query structure is derived once, not once per grid cell.
+
+Two execution modes share the exact same per-unit code path:
+
+* ``processes=1`` (the default) runs units sequentially in-process.
+* ``processes>1`` fans units across a ``multiprocessing`` pool.  Workers
+  rebuild the workload deterministically from the :class:`SweepSpec`
+  (generated databases are pure functions of scale/seed/correlation), so
+  the gathered rows are **bit-identical** to the sequential ones; a
+  shared :class:`~repro.pipeline.truthstore.TruthStore` lets workers skip
+  the exhaustive truth computation whenever any previous run — in any
+  process, ever — already materialised that query's counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+
+from repro.cardinality.qerror import q_error
+from repro.cost.base import plan_cost
+from repro.datagen import generate_imdb
+from repro.enumeration.dp import DPEnumerator
+from repro.pipeline.grid import SweepResult, SweepRow, SweepSpec, make_cost_model
+from repro.pipeline.resources import QueryWorkspace, WorkloadResources
+from repro.pipeline.truthstore import TruthStore
+from repro.query.query import Query
+
+
+def build_resources(
+    spec: SweepSpec, truth_root: str | Path | None = None
+) -> WorkloadResources:
+    """Deterministically build the workload a spec describes."""
+    from repro.workloads import job_queries, job_query
+
+    db = generate_imdb(
+        spec.scale, seed=spec.seed, correlation=spec.correlation
+    )
+    if spec.query_names is None:
+        queries = job_queries()
+    else:
+        queries = [job_query(name) for name in spec.query_names]
+    store = None
+    if truth_root is not None:
+        store = TruthStore(
+            truth_root, spec.scale, spec.seed, correlation=spec.correlation
+        )
+    return WorkloadResources(db=db, queries=queries, truth_store=store)
+
+
+def sweep_query(
+    resources: WorkloadResources, query: Query, spec: SweepSpec
+) -> list[SweepRow]:
+    """One work unit: every (estimator × config) cell for one query.
+
+    The workspace's catalog and bound cards are shared across all cells;
+    truth counts accumulated while costing are persisted to the truth
+    store (when attached) before the unit returns.
+    """
+    ws: QueryWorkspace = resources.workspace(query)
+    # materialise the truth bottom-up first: compute_all bounds peak
+    # memory to two size-generations of compressed intermediates, whereas
+    # letting DP pull counts on demand would cache every materialisation
+    # of every size at once on a 13-relation query
+    ws.compute_truth()
+    tcard = ws.true_card
+    all_mask = query.all_mask
+    rows: list[SweepRow] = []
+    for config in spec.configs:
+        cost_model = make_cost_model(config.cost_model, resources.db)
+        design = resources.design(config.indexes)
+        dp = DPEnumerator(
+            cost_model,
+            design,
+            allow_nlj=config.allow_nlj,
+            allow_smj=config.allow_smj,
+            shape=config.shape,
+        )
+        _, optimal_cost = dp.optimize(ws.context, tcard)
+        for estimator in spec.estimators:
+            card = ws.card(estimator)
+            plan, est_cost = dp.optimize(ws.context, card)
+            true_cost = plan_cost(plan, cost_model, tcard)
+            rows.append(
+                SweepRow(
+                    query=query.name,
+                    estimator=estimator,
+                    config=config.name,
+                    est_cost=est_cost,
+                    true_cost=true_cost,
+                    optimal_cost=optimal_cost,
+                    slowdown=true_cost / max(optimal_cost, 1e-9),
+                    q_error=q_error(card(all_mask), tcard(all_mask)),
+                )
+            )
+    ws.save_truth()
+    ws.release()
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# multiprocessing plumbing
+# --------------------------------------------------------------------- #
+
+#: per-worker state, populated by the pool initializer (works under both
+#: fork and spawn start methods)
+_WORKER: dict = {}
+
+
+def _init_worker(spec: SweepSpec, truth_root: str | None) -> None:
+    _WORKER["spec"] = spec
+    _WORKER["resources"] = build_resources(spec, truth_root)
+
+
+def _run_unit(query_name: str) -> list[SweepRow]:
+    resources: WorkloadResources = _WORKER["resources"]
+    return sweep_query(resources, resources.query(query_name), _WORKER["spec"])
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+
+
+def run_sweep(
+    spec: SweepSpec,
+    processes: int = 1,
+    truth_root: str | Path | None = None,
+    resources: WorkloadResources | None = None,
+) -> SweepResult:
+    """Run the full grid; sequential by default, pooled on request.
+
+    ``resources`` may be passed to reuse an already-built workload in
+    sequential mode (the parallel path always rebuilds per worker so that
+    every process prices the grid against an identical database).
+    """
+    if resources is not None and truth_root is not None:
+        raise ValueError(
+            "pass either truth_root or a resources object carrying its own "
+            "truth_store, not both"
+        )
+    if resources is not None and processes > 1:
+        raise ValueError(
+            "a prebuilt resources object cannot cross process boundaries; "
+            "use processes=1 or let workers rebuild from the spec"
+        )
+    if processes <= 1:
+        if resources is None:
+            resources = build_resources(spec, truth_root)
+        rows: list[SweepRow] = []
+        for query in resources.queries:
+            rows.extend(sweep_query(resources, query, spec))
+        return SweepResult(spec=spec, rows=rows)
+
+    if spec.query_names is not None:
+        names = list(spec.query_names)
+    else:
+        from repro.workloads import job_queries
+
+        names = [q.name for q in job_queries()]
+    truth_arg = str(truth_root) if truth_root is not None else None
+    ctx = multiprocessing.get_context()
+    rows = []
+    with ctx.Pool(
+        processes=min(processes, max(len(names), 1)),
+        initializer=_init_worker,
+        initargs=(spec, truth_arg),
+    ) as pool:
+        for unit_rows in pool.imap(_run_unit, names, chunksize=1):
+            rows.extend(unit_rows)
+    return SweepResult(spec=spec, rows=rows)

@@ -1,0 +1,150 @@
+"""The sweep grid: what gets optimized, and what comes back.
+
+The paper's core methodology is a full cross product — every workload
+query × every estimator analogue × every enumerator/physical-design
+configuration (Sections 3–6).  A :class:`SweepSpec` names one such grid
+declaratively (and picklably, so multiprocessing workers can rebuild the
+exact same world from it); a :class:`SweepRow` is one grid cell's
+outcome; a :class:`SweepResult` aggregates them.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from repro.catalog.schema import Database
+from repro.cost import (
+    CostModel,
+    PostgresCostModel,
+    SimpleCostModel,
+    TunedPostgresCostModel,
+)
+from repro.physical import IndexConfig
+from repro.pipeline.resources import ESTIMATOR_ORDER
+from repro.plans.shapes import TreeShape
+
+COST_MODELS = ("simple", "standard", "tuned")
+
+
+def make_cost_model(name: str, db: Database) -> CostModel:
+    if name == "simple":
+        return SimpleCostModel(db)
+    if name == "standard":
+        return PostgresCostModel(db)
+    if name == "tuned":
+        return TunedPostgresCostModel(db)
+    raise ValueError(
+        f"unknown cost model {name!r}; choose from {COST_MODELS}"
+    )
+
+
+@dataclass(frozen=True)
+class EnumeratorConfig:
+    """One enumerator/engine configuration of the sweep grid."""
+
+    name: str
+    indexes: IndexConfig = IndexConfig.PK_FK
+    shape: TreeShape = TreeShape.BUSHY
+    allow_nlj: bool = False
+    allow_smj: bool = False
+    cost_model: str = "simple"
+
+
+#: the default grid: the paper's two main physical designs (§4.2–4.3, §6)
+DEFAULT_CONFIGS: tuple[EnumeratorConfig, ...] = (
+    EnumeratorConfig("pk", indexes=IndexConfig.PK),
+    EnumeratorConfig("pk+fk", indexes=IndexConfig.PK_FK),
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A fully deterministic description of one sweep.
+
+    Everything a worker process needs to rebuild the exact same database,
+    workload, and estimator line-up lives here — results are therefore
+    identical no matter how the grid is partitioned across processes.
+    """
+
+    scale: str = "tiny"
+    seed: int = 42
+    correlation: float = 0.8
+    query_names: tuple[str, ...] | None = None
+    estimators: tuple[str, ...] = tuple(ESTIMATOR_ORDER)
+    configs: tuple[EnumeratorConfig, ...] = DEFAULT_CONFIGS
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (query × estimator × config) cell of the sweep.
+
+    ``est_cost`` is the optimizer's belief (plan cost under the injected
+    estimates); ``true_cost`` is the chosen plan recosted with true
+    cardinalities; ``optimal_cost`` is the true-cardinality optimum of
+    the same configuration; ``slowdown`` is their ratio — the paper's
+    standalone-optimizer plan-quality metric (Section 6).  ``q_error`` is
+    the full-query estimate's q-error.
+    """
+
+    query: str
+    estimator: str
+    config: str
+    est_cost: float
+    true_cost: float
+    optimal_cost: float
+    slowdown: float
+    q_error: float
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep, in deterministic grid order."""
+
+    spec: SweepSpec
+    rows: list[SweepRow] = field(default_factory=list)
+
+    def row(self, query: str, estimator: str, config: str) -> SweepRow:
+        for r in self.rows:
+            if (r.query, r.estimator, r.config) == (query, estimator, config):
+                return r
+        raise KeyError((query, estimator, config))
+
+    def keyed(self) -> dict[tuple[str, str, str], SweepRow]:
+        return {(r.query, r.estimator, r.config): r for r in self.rows}
+
+    def to_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        names = [f.name for f in fields(SweepRow)]
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=names)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(asdict(row))
+        return path
+
+    def render(self) -> str:
+        from repro.experiments.report import format_table
+
+        rows = [
+            [
+                r.query,
+                r.estimator,
+                r.config,
+                r.est_cost,
+                r.true_cost,
+                r.slowdown,
+                r.q_error,
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            ["query", "estimator", "config", "est cost", "true cost",
+             "slowdown", "q-error"],
+            rows,
+            title=(
+                f"Sweep: scale={self.spec.scale} seed={self.spec.seed} — "
+                f"{len(self.rows)} grid cells"
+            ),
+        )

@@ -1,0 +1,168 @@
+"""Disk-persistable exact-cardinality cache.
+
+The exhaustive truth oracle is by far the most expensive part of the
+reproduction: every connected subexpression of every query is
+materialised bottom-up.  Its *outputs*, however, are plain integers that
+depend only on the database — which for generated instances is fully
+determined by ``(scale, seed, correlation)`` — and the query name.  A
+:class:`TruthStore` persists those counts to disk under exactly that key,
+so the truth oracle for a given database is computed **once per database
+ever**, not once per process: every later run (including every worker of
+a multiprocessing sweep) preloads the counts in milliseconds.
+
+Layout: ``root/imdb-<scale>-seed<seed>-corr<correlation>/<query>.json``,
+one self-contained JSON file per query so that parallel workers touching
+different queries never contend.  Writes are atomic (temp file + rename)
+and merging: saving a payload unions its counts with whatever is already
+on disk and keeps the wider coverage, so a size-capped Figure 3 run and a
+full enumeration run accumulate into one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+_FORMAT_VERSION = 1
+
+#: sentinel for "every connected subset" in coverage arithmetic
+_FULL = 10**9
+
+
+def covers(have: int | None, want: int | None, full: int | None = None) -> bool:
+    """Whether stored coverage ``have`` answers a request for ``want``.
+
+    ``None`` means "every connected subset".  ``full`` (the query's
+    relation count, when known) caps ``want``: counts stored up to size 7
+    fully cover a 5-relation query even though ``have < None``.
+    """
+    cap = _FULL if full is None else full
+    have_size = cap if have is None else have
+    want_size = cap if want is None else min(want, cap)
+    return have_size >= want_size
+
+
+@dataclass
+class TruthPayload:
+    """Exact counts previously computed for one query.
+
+    ``max_size`` is the subset-size cap the counts cover (``None`` means
+    every connected subset was enumerated).
+    """
+
+    counts: dict[int, int]
+    unfiltered: dict[tuple[int, str], int]
+    max_size: int | None
+
+    def covers(self, max_size: int | None, full: int | None = None) -> bool:
+        return covers(self.max_size, max_size, full)
+
+
+class TruthStore:
+    """One directory of per-query truth files for one generated database."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        scale: str,
+        seed: int,
+        correlation: float = 0.8,
+        dataset: str = "imdb",
+    ) -> None:
+        from repro.datagen import DATAGEN_VERSION
+        from repro.workloads import WORKLOAD_VERSION
+
+        # generator and workload versions are part of the key: counts are
+        # only "exact" for the data a specific generator produced AND the
+        # query shapes they were counted for
+        self.root = Path(root)
+        self.directory = self.root / (
+            f"{dataset}-{scale}-seed{seed}-corr{correlation:g}"
+            f"-gen{DATAGEN_VERSION}-wl{WORKLOAD_VERSION}"
+        )
+
+    def path(self, query_name: str) -> Path:
+        return self.directory / f"{query_name}.json"
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, query_name: str) -> TruthPayload | None:
+        """The stored payload for ``query_name``, or ``None``.
+
+        Corrupt or incompatible files are treated as absent — the sweep
+        recomputes and overwrites them.
+        """
+        path = self.path(query_name)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+            return None
+        try:
+            counts = {int(k): int(v) for k, v in raw["counts"].items()}
+            unfiltered = {}
+            for key, value in raw.get("unfiltered", {}).items():
+                subset, _, alias = key.partition(":")
+                unfiltered[(int(subset), alias)] = int(value)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+        return TruthPayload(
+            counts=counts, unfiltered=unfiltered, max_size=raw.get("max_size")
+        )
+
+    def save(
+        self,
+        query_name: str,
+        counts: dict[int, int],
+        unfiltered: dict[tuple[int, str], int] | None = None,
+        max_size: int | None = None,
+    ) -> Path:
+        """Atomically merge-and-write the counts for ``query_name``."""
+        existing = self.load(query_name)
+        merged_counts = dict(counts)
+        merged_unfiltered = dict(unfiltered or {})
+        if existing is not None:
+            merged_counts = {**existing.counts, **merged_counts}
+            merged_unfiltered = {**existing.unfiltered, **merged_unfiltered}
+            if existing.covers(max_size):
+                max_size = existing.max_size
+        payload = {
+            "version": _FORMAT_VERSION,
+            "max_size": max_size,
+            "counts": {str(k): v for k, v in sorted(merged_counts.items())},
+            "unfiltered": {
+                f"{subset}:{alias}": v
+                for (subset, alias), v in sorted(merged_unfiltered.items())
+            },
+        }
+        path = self.path(query_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{query_name}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            # mkstemp creates 0600 files; a shared cache directory must be
+            # readable by other users, so restore the umask-derived mode
+            umask = os.umask(0)
+            os.umask(umask)
+            os.chmod(tmp, 0o666 & ~umask)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def known_queries(self) -> list[str]:
+        """Names of queries with stored truth, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))

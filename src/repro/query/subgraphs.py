@@ -15,7 +15,10 @@ models; a query optimized under six estimators reuses one catalog.
 
 from __future__ import annotations
 
+import weakref
+
 from repro.query.join_graph import JoinGraph
+from repro.query.query import JoinEdge
 from repro.util.bitset import bits_of, popcount
 
 
@@ -111,22 +114,59 @@ def csg_cmp_pairs(graph: JoinGraph) -> list[tuple[int, int]]:
 class SubgraphCatalog:
     """Cached per-graph subgraph structure shared across optimizer runs.
 
+    All structure is derived lazily: the truth oracle only needs
+    :meth:`expansion_parent`, so it never pays for the csg–cmp pair
+    enumeration, while a DP enumerator that touches :attr:`pairs` (or the
+    edge-annotated :attr:`pair_edges`) computes them once and reuses them
+    across every estimator and cost-model configuration.
+
     Attributes
     ----------
     csgs:
         All connected subsets, sorted by size.
     pairs:
         All csg–cmp pairs, sorted by union size.
+    pair_edges:
+        ``(s1, s2, edges)`` triples for every csg–cmp pair that is joined
+        by at least one edge, in :attr:`pairs` order.  Precomputing the
+        crossing edges here means a DP run does not re-derive them for
+        every estimator/cost-model combination.
     """
 
     def __init__(self, graph: JoinGraph) -> None:
         self.graph = graph
-        self.csgs = connected_subsets(graph)
-        self._csg_set = set(self.csgs)
-        self.pairs = csg_cmp_pairs(graph)
+        self._csgs: list[int] | None = None
+        self._csg_set: set[int] | None = None
+        self._pairs: list[tuple[int, int]] | None = None
+        self._pair_edges: list[tuple[int, int, list[JoinEdge]]] | None = None
         self._parents: dict[int, tuple[int, int]] = {}
 
+    @property
+    def csgs(self) -> list[int]:
+        if self._csgs is None:
+            self._csgs = connected_subsets(self.graph)
+        return self._csgs
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        if self._pairs is None:
+            self._pairs = csg_cmp_pairs(self.graph)
+        return self._pairs
+
+    @property
+    def pair_edges(self) -> list[tuple[int, int, list[JoinEdge]]]:
+        if self._pair_edges is None:
+            graph = self.graph
+            self._pair_edges = [
+                (s1, s2, edges)
+                for s1, s2 in self.pairs
+                if (edges := graph.edges_between(s1, s2))
+            ]
+        return self._pair_edges
+
     def is_csg(self, subset: int) -> bool:
+        if self._csg_set is None:
+            self._csg_set = set(self.csgs)
         return subset in self._csg_set
 
     def expansion_parent(self, subset: int) -> tuple[int, int]:
@@ -150,14 +190,41 @@ class SubgraphCatalog:
         raise ValueError(f"subset {subset:#x} is not connected")
 
 
-_catalog_cache: dict[int, SubgraphCatalog] = {}
+#: weakly-held process-wide cache: entries evaporate as soon as no caller
+#: retains the catalog, so a long workload sweep cannot accumulate stale
+#: state (each catalog keeps its graph alive, so a live entry's ``id()``
+#: can never be recycled to a different graph).  The cache itself never
+#: extends a catalog's lifetime — sharing happens while some owner (a
+#: ``QueryContext``, a pipeline workspace) holds the catalog, and the
+#: entry dies with the last owner.
+_catalog_cache: "weakref.WeakValueDictionary[int, SubgraphCatalog]" = (
+    weakref.WeakValueDictionary()
+)
 
 
 def catalog_for(graph: JoinGraph) -> SubgraphCatalog:
-    """Process-wide catalog cache keyed by graph object identity."""
+    """Process-wide catalog cache keyed weakly by graph identity."""
     key = id(graph)
     catalog = _catalog_cache.get(key)
     if catalog is None or catalog.graph is not graph:
         catalog = SubgraphCatalog(graph)
         _catalog_cache[key] = catalog
     return catalog
+
+
+def evict_catalog(graph: JoinGraph) -> None:
+    """Explicitly drop any cached catalog for ``graph``."""
+    key = id(graph)
+    cached = _catalog_cache.get(key)
+    if cached is not None and cached.graph is graph:
+        _catalog_cache.pop(key, None)
+
+
+def clear_catalog_cache() -> None:
+    """Explicitly drop every cached catalog."""
+    _catalog_cache.clear()
+
+
+def cached_catalog_count() -> int:
+    """Number of live cache entries (used by cache-lifetime tests)."""
+    return len(_catalog_cache)

@@ -3,10 +3,16 @@
 from repro.workloads.job import JOB_QUERIES, job_queries, job_query
 from repro.workloads.tpch_queries import TPCH_QUERIES, tpch_queries
 
+#: bump whenever any query definition (relations, selections, join
+#: edges) changes — persistent caches of per-query ground truth key on
+#: it, so counts computed for an old query shape are never reused
+WORKLOAD_VERSION = 1
+
 __all__ = [
     "JOB_QUERIES",
     "job_queries",
     "job_query",
     "TPCH_QUERIES",
     "tpch_queries",
+    "WORKLOAD_VERSION",
 ]

@@ -1,0 +1,158 @@
+"""Regression tests: per-query caches must stay bounded across a sweep.
+
+The seed keyed ``catalog_for``'s cache and ``TrueCardinalities._states``
+by ``id(...)`` in plain dicts that never evicted: a long workload sweep
+over fresh query/graph objects accumulated dead state without bound, and
+a recycled ``id()`` could silently pin a stale entry forever.  Both are
+now weak-value caches with a small strong LRU pin and explicit eviction.
+"""
+
+import gc
+
+import pytest
+
+from repro.cardinality.truth import TrueCardinalities
+from repro.query.join_graph import JoinGraph
+from repro.query.query import JoinEdge, Query, Relation
+from repro.query.subgraphs import (
+    cached_catalog_count,
+    catalog_for,
+    clear_catalog_cache,
+    evict_catalog,
+)
+from repro.workloads import job_query
+
+
+def _toy_query(name="toy"):
+    return Query(
+        name,
+        [Relation("f", "fact"), Relation("a", "dim_a"), Relation("b", "dim_b")],
+        {},
+        [
+            JoinEdge("f", "a_id", "a", "id", "pk_fk", pk_side="a"),
+            JoinEdge("f", "b_id", "b", "id", "pk_fk", pk_side="b"),
+        ],
+    )
+
+
+class TestCatalogCache:
+    def setup_method(self):
+        clear_catalog_cache()
+
+    def test_repeated_fresh_graphs_do_not_grow_cache(self):
+        """A sweep over many fresh query objects must not leak catalogs:
+        each weak entry dies with the last holder of its catalog."""
+        for _ in range(64):
+            graph = JoinGraph(job_query("1a"))
+            catalog = catalog_for(graph)
+            assert catalog.graph is graph
+            del graph, catalog
+        gc.collect()
+        assert cached_catalog_count() == 0
+
+    def test_cached_while_graph_alive(self):
+        graph = JoinGraph(job_query("2a"))
+        assert catalog_for(graph) is catalog_for(graph)
+
+    def test_distinct_graphs_get_distinct_catalogs(self):
+        g1 = JoinGraph(job_query("1a"))
+        g2 = JoinGraph(job_query("1a"))
+        assert catalog_for(g1) is not catalog_for(g2)
+
+    def test_explicit_eviction(self):
+        graph = JoinGraph(job_query("1a"))
+        first = catalog_for(graph)
+        evict_catalog(graph)
+        gc.collect()
+        assert catalog_for(graph) is not first
+
+    def test_clear_cache(self):
+        graphs = [JoinGraph(job_query(n)) for n in ("1a", "2a")]
+        for graph in graphs:
+            catalog_for(graph)
+        clear_catalog_cache()
+        gc.collect()
+        assert cached_catalog_count() == 0
+
+
+class TestTruthStateCache:
+    def test_repeated_fresh_queries_do_not_grow_cache(self, toy_db):
+        """The seed grew one `_QueryState` per fresh query object forever;
+        the weak/LRU cache must stay bounded."""
+        truth = TrueCardinalities(toy_db, max_cached_queries=4)
+        for i in range(40):
+            query = _toy_query(f"q{i}")
+            truth.cardinality(query, query.alias_bit("f"))
+            del query
+        gc.collect()
+        assert truth.cached_state_count() <= 4
+
+    def test_state_reused_for_live_query(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        query = _toy_query()
+        truth.cardinality(query, query.alias_bit("f"))
+        truth.cardinality(query, query.all_mask)
+        assert truth.cached_state_count() == 1
+
+    def test_pinned_state_survives_collection_pressure(self, toy_db):
+        """While a query object is in use, its state must keep answering
+        from cache even as other queries churn through the LRU."""
+        truth = TrueCardinalities(toy_db, max_cached_queries=2)
+        query = _toy_query("pinned")
+        first = truth.cardinality(query, query.all_mask)
+        for i in range(10):
+            other = _toy_query(f"churn{i}")
+            truth.cardinality(other, other.alias_bit("f"))
+        assert truth.cardinality(query, query.all_mask) == first
+
+    def test_forget_and_clear(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        query = _toy_query()
+        truth.cardinality(query, query.alias_bit("f"))
+        truth.forget(query)
+        gc.collect()
+        assert truth.cached_state_count() == 0
+        truth.cardinality(query, query.alias_bit("f"))
+        truth.clear_cache()
+        gc.collect()
+        assert truth.cached_state_count() == 0
+
+    def test_compute_all_still_correct_after_churn(self, toy_db):
+        """Eviction must never change answers — only recompute them."""
+        truth = TrueCardinalities(toy_db, max_cached_queries=1)
+        query = _toy_query()
+        before = truth.compute_all(query)
+        other = _toy_query("other")
+        truth.compute_all(other)
+        assert truth.compute_all(query) == before
+
+
+class TestPreloadExport:
+    def test_export_then_preload_roundtrip(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        query = _toy_query()
+        counts = truth.compute_all(query)
+        exported, unfiltered = truth.export_counts(query)
+        assert exported == counts
+
+        fresh = TrueCardinalities(toy_db)
+        query2 = _toy_query()
+        fresh.preload(query2, exported, unfiltered)
+        for subset, n in counts.items():
+            assert fresh.cardinality(query2, subset) == float(n)
+
+    def test_preload_skips_materialisation(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        query = _toy_query()
+        counts = truth.compute_all(query)
+
+        fresh = TrueCardinalities(toy_db, max_rows=0)  # any join would raise
+        query2 = _toy_query()
+        fresh.preload(query2, counts)
+        assert fresh.cardinality(query2, query2.all_mask) == float(
+            counts[query2.all_mask]
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

@@ -1,0 +1,127 @@
+"""Regression tests: hash-join bucket sizing vs pathological estimates.
+
+The seed did ``int(est_rows)`` after only a NaN check, so an infinite
+estimate raised ``OverflowError`` mid-execution and a huge finite one
+sized an absurd bucket count.  Non-finite and out-of-range estimates are
+now clamped to the actual build size before sizing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cardinality import TrueCardinalities
+from repro.execution import EngineConfig, ExecutionContext, execute_plan
+from repro.execution.engine import _hash_buckets
+from repro.physical import IndexConfig, PhysicalDesign
+from repro.plans import JoinNode, ScanNode
+from repro.plans.plan import annotate_estimates
+from repro.query.query import JoinEdge, Query, Relation
+
+
+def _toy_query():
+    return Query(
+        "toy",
+        [Relation("f", "fact"), Relation("a", "dim_a"), Relation("b", "dim_b")],
+        {},
+        [
+            JoinEdge("f", "a_id", "a", "id", "pk_fk", pk_side="a"),
+            JoinEdge("f", "b_id", "b", "id", "pk_fk", pk_side="b"),
+        ],
+    )
+
+
+def _hash_plan(db, query):
+    plan = JoinNode(
+        ScanNode(0, "f", "fact"),
+        ScanNode(1, "a", "dim_a"),
+        "hash",
+        [query.joins[0]],
+    )
+    annotate_estimates(plan, TrueCardinalities(db).bind(query))
+    return plan
+
+
+def _ctx(db, **cfg):
+    return ExecutionContext(
+        db, PhysicalDesign(db, IndexConfig.PK_FK), EngineConfig(**cfg)
+    )
+
+
+@pytest.mark.parametrize(
+    "bad_estimate",
+    [float("inf"), float("-inf"), float("nan"), 1e300, 2.0**80],
+)
+def test_pathological_build_estimates_survive(toy_db, bad_estimate):
+    """Execution must neither raise nor change the result rows."""
+    query = _toy_query()
+    plan = _hash_plan(toy_db, query)
+    reference = execute_plan(plan, query, _ctx(toy_db)).n_rows
+
+    plan.left.est_rows = bad_estimate
+    result = execute_plan(plan, query, _ctx(toy_db))
+    assert result.n_rows == reference
+
+
+def test_inf_estimate_work_equals_actual_sizing(toy_db):
+    """inf is clamped to the build size, so the charged work matches a
+    correctly-sized table (chain length 1 either way)."""
+    query = _toy_query()
+    plan = _hash_plan(toy_db, query)
+
+    def hash_work(est):
+        plan.left.est_rows = est
+        ctx = _ctx(toy_db)
+        execute_plan(plan, query, ctx)
+        return next(
+            s.work for s in ctx.operator_stats if s.label.startswith("hash")
+        )
+
+    build_rows = 8  # fact has 8 rows, no selection
+    assert hash_work(float("inf")) == hash_work(float(build_rows))
+    assert hash_work(1e300) == hash_work(float(build_rows))
+
+
+def test_underestimates_still_bite(toy_db):
+    """Clamping must only touch the harmless direction: a severe
+    underestimate still produces an undersized table (long chains)."""
+    query = _toy_query()
+    plan = _hash_plan(toy_db, query)
+    ctx = _ctx(toy_db, min_buckets=1)
+
+    plan.left.est_rows = 1.0
+    buckets_under = _hash_buckets(ctx, plan, build_rows=1024)
+    plan.left.est_rows = 1024.0
+    buckets_right = _hash_buckets(ctx, plan, build_rows=1024)
+    assert buckets_under < buckets_right
+
+
+def test_bucket_count_bounded_by_build_size(toy_db):
+    query = _toy_query()
+    plan = _hash_plan(toy_db, query)
+    ctx = _ctx(toy_db, min_buckets=1)
+    plan.left.est_rows = 1e300
+    buckets = _hash_buckets(ctx, plan, build_rows=1000)
+    assert buckets <= 1024  # next power of two above the build size
+
+    plan.left.est_rows = float("inf")
+    assert _hash_buckets(ctx, plan, build_rows=1000) <= 1024
+
+
+def test_nan_falls_back_to_actual(toy_db):
+    query = _toy_query()
+    plan = _hash_plan(toy_db, query)
+    ctx = _ctx(toy_db, min_buckets=1)
+    plan.left.est_rows = float("nan")
+    assert _hash_buckets(ctx, plan, build_rows=100) == 128
+
+
+def test_rehash_ignores_estimates(toy_db):
+    query = _toy_query()
+    plan = _hash_plan(toy_db, query)
+    ctx = _ctx(toy_db, rehash=True, min_buckets=1)
+    plan.left.est_rows = float("inf")
+    assert _hash_buckets(ctx, plan, build_rows=100) == 128
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])
