@@ -148,3 +148,25 @@ class TestSweep:
             lambda: run_sweep(self.SPEC, processes=2, truth_root=root),
         )
         assert len(result.rows) == 6 * 2 * 2
+
+    def test_warm_resume_is_order_of_magnitude_faster(self, tmp_path_factory):
+        """Hard acceptance check: an identical-spec re-run replays every
+        cell from the result store and must finish in < 10% of the cold
+        run's wall time."""
+        root = tmp_path_factory.mktemp("cache")
+
+        t0 = time.perf_counter()
+        cold = run_sweep(self.SPEC, truth_root=root, result_root=root)
+        cold_s = time.perf_counter() - t0
+        assert cold.priced_cells == len(cold.rows)
+
+        t0 = time.perf_counter()
+        warm = run_sweep(self.SPEC, truth_root=root, result_root=root)
+        warm_s = time.perf_counter() - t0
+        assert warm.priced_cells == 0
+        assert warm.rows == cold.rows
+        print(
+            f"\nsweep resume: cold {cold_s * 1e3:.0f} ms vs warm "
+            f"{warm_s * 1e3:.0f} ms ({cold_s / warm_s:.0f}x)"
+        )
+        assert warm_s < 0.1 * cold_s

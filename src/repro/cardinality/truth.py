@@ -113,6 +113,19 @@ class TrueCardinalities(CardinalityEstimator):
             self._recent.popitem(last=False)
         return state
 
+    def _peek_state(self, query: Query) -> _QueryState | None:
+        """The live cache state for ``query``, or ``None`` — never creates.
+
+        Read-only paths (:meth:`export_counts`, :meth:`release`) must not
+        allocate and LRU-pin a fresh state for a query the oracle has
+        never seen: doing so both wastes a slot and can evict a state
+        some other query is actively using.
+        """
+        state = self._states.get(id(query))
+        if state is not None and state.query is query:
+            return state
+        return None
+
     def cached_state_count(self) -> int:
         """Number of live per-query states (used by cache-lifetime tests)."""
         return len(self._states)
@@ -324,8 +337,8 @@ class TrueCardinalities(CardinalityEstimator):
 
     def release(self, query: Query) -> None:
         """Drop all materialisations for ``query`` (counts are kept)."""
-        state = self._states.get(id(query))
-        if state is not None and state.query is query:
+        state = self._peek_state(query)
+        if state is not None:
             state.results.clear()
 
     def forget(self, query: Query) -> None:
@@ -352,9 +365,13 @@ class TrueCardinalities(CardinalityEstimator):
 
         Returns ``(counts, unfiltered_counts)`` — both JSON-serialisable
         after key stringification; see
-        :class:`~repro.pipeline.truthstore.TruthStore`.
+        :class:`~repro.pipeline.truthstore.TruthStore`.  A query the
+        oracle has never touched exports empty dicts without mutating the
+        cache (no state allocation, no LRU churn).
         """
-        state = self._state(query)
+        state = self._peek_state(query)
+        if state is None:
+            return {}, {}
         return dict(state.counts), dict(state.unfiltered_counts)
 
     def preload(

@@ -139,12 +139,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.physical import IndexConfig
-    from repro.pipeline import EnumeratorConfig, SweepSpec, run_sweep
+    from repro.pipeline import (
+        EnumeratorConfig,
+        SweepSpec,
+        check_dataset,
+        run_sweep,
+        workload_queries,
+    )
     from repro.pipeline.resources import ESTIMATOR_ORDER
-    from repro.workloads import job_queries
 
+    try:
+        check_dataset(args.dataset)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if args.queries:
-        known = {q.name for q in job_queries()}
+        known = {q.name for q in workload_queries(args.dataset)}
         bad = [n for n in args.queries.split(",") if n not in known]
         if bad:
             print(
@@ -187,14 +197,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ),
         estimators=estimators,
         configs=configs,
+        dataset=args.dataset,
     )
+    if args.no_result_cache:
+        result_root = None
+    else:
+        result_root = args.result_cache or args.truth_cache
+    progress = None
+    if args.progress:
+        def progress(report):
+            print(report.render(), file=sys.stderr, flush=True)
     result = run_sweep(
-        spec, processes=args.processes, truth_root=args.truth_cache
+        spec,
+        processes=args.processes,
+        truth_root=args.truth_cache,
+        result_root=result_root,
+        resume=args.resume,
+        progress=progress,
+        stream_csv=args.csv,
     )
     print(result.render())
+    total = result.priced_cells + result.cached_cells
+    print(
+        f"\npriced {result.priced_cells} of {total} grid cells "
+        f"({result.cached_cells} served from the result cache)"
+    )
     if args.csv:
-        path = result.to_csv(args.csv)
-        print(f"\nwrote {len(result.rows)} rows to {path}")
+        print(f"wrote {len(result.rows)} rows to {args.csv}")
     return 0
 
 
@@ -272,12 +301,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = sequential; results are identical)",
     )
     p_sweep.add_argument(
+        "--dataset", default="imdb",
+        help="workload dataset: imdb (JOB) or tpch",
+    )
+    p_sweep.add_argument(
         "--truth-cache", default=None, metavar="DIR",
         help="directory for the persistent exact-cardinality store",
     )
     p_sweep.add_argument(
+        "--result-cache", default=None, metavar="DIR",
+        help=(
+            "directory for the persistent priced-row store "
+            "(default: the --truth-cache directory)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--no-result-cache", action="store_true",
+        help="neither read nor write the priced-row store",
+    )
+    p_sweep.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "replay cells already priced by previous runs "
+            "(--no-resume re-prices everything, still updating the store)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line to stderr as each query completes",
+    )
+    p_sweep.add_argument(
         "--csv", default=None, metavar="PATH",
-        help="also write the rows as CSV",
+        help=(
+            "write the rows as CSV, streamed while the sweep runs and "
+            "canonically ordered once it finishes"
+        ),
     )
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser

@@ -13,7 +13,6 @@ line-up in :mod:`repro.pipeline.resources`.
 from __future__ import annotations
 
 from repro.cardinality.base import BoundCard
-from repro.datagen import generate_imdb
 from repro.enumeration import QueryContext
 from repro.pipeline.resources import (
     ESTIMATOR_ORDER,
@@ -21,9 +20,9 @@ from repro.pipeline.resources import (
     WorkloadResources,
     standard_estimators,
 )
+from repro.pipeline.tasks import make_database, workload_queries, workload_query
 from repro.catalog.schema import Database
 from repro.query.query import Query
-from repro.workloads import job_queries, job_query
 
 __all__ = ["ESTIMATOR_ORDER", "ExperimentSuite"]
 
@@ -45,16 +44,20 @@ class ExperimentSuite(WorkloadResources):
         db: Database | None = None,
         correlation: float = 0.8,
         truth_store=None,
+        dataset: str = "imdb",
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.correlation = correlation
+        self.dataset = dataset
         if db is None:
-            db = generate_imdb(scale, seed=seed, correlation=correlation)
+            db = make_database(
+                dataset, scale, seed, correlation=correlation
+            )
         if query_names is None:
-            queries: list[Query] = job_queries()
+            queries: list[Query] = workload_queries(dataset)
         else:
-            queries = [job_query(name) for name in query_names]
+            queries = [workload_query(dataset, name) for name in query_names]
         super().__init__(
             db=db,
             queries=queries,

@@ -1,10 +1,12 @@
 """Workload-scale optimization pipeline.
 
-A batch driver for the paper's core cross product — every workload query
-× five estimator analogues × enumerator/physical-design configurations —
-with shared per-query structure, a disk-persistable exact-cardinality
-store, and optional ``multiprocessing`` fan-out whose results are
-bit-identical to the sequential path.
+An incremental batch driver for the paper's core cross product — every
+workload query × five estimator analogues × enumerator/physical-design
+configurations — built from layered parts: shared per-query structure, a
+cell-level task graph with stable content keys, a largest-first
+scheduler with optional ``multiprocessing`` fan-out (bit-identical to
+sequential), and persistent disk stores for both exact cardinalities and
+priced sweep rows, so re-runs price only what a spec change invalidated.
 
 =================  ===================================================
 Module             Provides
@@ -14,9 +16,17 @@ Module             Provides
                    sweep driver build on
 ``grid``           :class:`SweepSpec` / :class:`SweepRow` /
                    :class:`SweepResult` — the declarative grid
-``driver``         :func:`run_sweep` — sequential & pooled execution
+``tasks``          :func:`decompose` → :class:`SweepUnit` /
+                   :class:`SweepCell` / :class:`CellKey` — addressable
+                   cells with stable content keys; dataset identity
+``scheduler``      :class:`SweepScheduler` — largest-first ordering,
+                   pool fan-out, canonical row gathering
+``results``        :class:`ResultStore` (persistent priced rows) +
+                   :class:`CsvStreamWriter` / :class:`UnitReport`
+                   (streaming reports)
+``driver``         :func:`run_sweep` — incremental orchestration
 ``truthstore``     :class:`TruthStore` — exact counts keyed by
-                   ``(scale, seed, correlation, query name)``
+                   ``(dataset, scale, seed, correlation, query name)``
 =================  ===================================================
 """
 
@@ -33,22 +43,58 @@ from repro.pipeline.resources import (
     WorkloadResources,
     standard_estimators,
 )
-from repro.pipeline.driver import build_resources, run_sweep, sweep_query
+from repro.pipeline.tasks import (
+    DATASETS,
+    CellKey,
+    SweepCell,
+    SweepUnit,
+    check_dataset,
+    config_fingerprint,
+    decompose,
+    make_database,
+    workload_queries,
+    workload_query,
+)
+from repro.pipeline.scheduler import SweepScheduler, gather_rows, order_units
+from repro.pipeline.results import CsvStreamWriter, ResultStore, UnitReport
+from repro.pipeline.driver import (
+    build_resources,
+    price_cells,
+    run_sweep,
+    sweep_query,
+)
 from repro.pipeline.truthstore import TruthPayload, TruthStore
 
 __all__ = [
+    "DATASETS",
     "DEFAULT_CONFIGS",
     "ESTIMATOR_ORDER",
+    "CellKey",
+    "CsvStreamWriter",
     "EnumeratorConfig",
     "QueryWorkspace",
+    "ResultStore",
+    "SweepCell",
     "SweepResult",
     "SweepRow",
+    "SweepScheduler",
     "SweepSpec",
+    "SweepUnit",
     "TruthPayload",
     "TruthStore",
+    "UnitReport",
     "WorkloadResources",
     "build_resources",
+    "check_dataset",
+    "config_fingerprint",
+    "decompose",
+    "gather_rows",
+    "make_database",
+    "order_units",
+    "price_cells",
     "run_sweep",
     "standard_estimators",
     "sweep_query",
+    "workload_queries",
+    "workload_query",
 ]

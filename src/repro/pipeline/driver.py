@@ -1,34 +1,46 @@
-"""Batch optimization driver: fan the sweep grid across processes.
+"""Sweep driver: incremental orchestration over the pipeline layers.
 
-The unit of work is **one query**: a work unit builds (or receives) the
-query's workspace — one subgraph catalog, one bound cardinality function
-per estimator — and walks every (estimator × enumerator-config) cell of
-the grid against it.  This is what makes the sweep cheap: the expensive
-per-query structure is derived once, not once per grid cell.
+:func:`run_sweep` is the vertical glue between the three layers this
+package splits the sweep into:
 
-Two execution modes share the exact same per-unit code path:
+* the **task layer** (:mod:`repro.pipeline.tasks`) decomposes the spec
+  into per-query units of addressable cells with stable content keys;
+* the **scheduler layer** (:mod:`repro.pipeline.scheduler`) runs the
+  still-unpriced units largest-first — sequentially or across a
+  ``multiprocessing`` pool — and re-sorts gathered rows so output stays
+  bit-identical to a cold sequential run;
+* the **result layer** (:mod:`repro.pipeline.results`) replays
+  previously priced cells from disk, persists fresh ones, and streams
+  rows to CSV/progress callbacks as each unit completes.
 
-* ``processes=1`` (the default) runs units sequentially in-process.
-* ``processes>1`` fans units across a ``multiprocessing`` pool.  Workers
-  rebuild the workload deterministically from the :class:`SweepSpec`
-  (generated databases are pure functions of scale/seed/correlation), so
-  the gathered rows are **bit-identical** to the sequential ones; a
-  shared :class:`~repro.pipeline.truthstore.TruthStore` lets workers skip
-  the exhaustive truth computation whenever any previous run — in any
-  process, ever — already materialised that query's counts.
+The pricing itself lives here: :func:`price_cells` prices any subset of
+one query's cells against its shared workspace (one subgraph catalog,
+one bound cardinality function per estimator, one truth materialisation
+— that sharing is what makes the sweep cheap), and :func:`sweep_query`
+is the full-grid special case.  With a result store attached, a re-run
+of an identical spec prices zero cells and never even generates the
+database; a changed spec prices exactly the cells whose content key
+changed.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from pathlib import Path
 
 from repro.cardinality.qerror import q_error
 from repro.cost.base import plan_cost
-from repro.datagen import generate_imdb
 from repro.enumeration.dp import DPEnumerator
-from repro.pipeline.grid import SweepResult, SweepRow, SweepSpec, make_cost_model
+from repro.pipeline.grid import SweepResult, SweepRow, SweepSpec
 from repro.pipeline.resources import QueryWorkspace, WorkloadResources
+from repro.pipeline.results import CsvStreamWriter, ResultStore, UnitReport
+from repro.pipeline.scheduler import SweepScheduler, gather_rows
+from repro.pipeline.tasks import (
+    SweepCell,
+    SweepUnit,
+    decompose,
+    make_database,
+    spec_queries,
+)
 from repro.pipeline.truthstore import TruthStore
 from repro.query.query import Query
 
@@ -37,32 +49,40 @@ def build_resources(
     spec: SweepSpec, truth_root: str | Path | None = None
 ) -> WorkloadResources:
     """Deterministically build the workload a spec describes."""
-    from repro.workloads import job_queries, job_query
-
-    db = generate_imdb(
-        spec.scale, seed=spec.seed, correlation=spec.correlation
+    db = make_database(
+        spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
     )
-    if spec.query_names is None:
-        queries = job_queries()
-    else:
-        queries = [job_query(name) for name in spec.query_names]
+    queries = spec_queries(spec)
     store = None
     if truth_root is not None:
         store = TruthStore(
-            truth_root, spec.scale, spec.seed, correlation=spec.correlation
+            truth_root,
+            spec.scale,
+            spec.seed,
+            correlation=spec.correlation,
+            dataset=spec.dataset,
         )
     return WorkloadResources(db=db, queries=queries, truth_store=store)
 
 
-def sweep_query(
-    resources: WorkloadResources, query: Query, spec: SweepSpec
+def price_cells(
+    resources: WorkloadResources,
+    query: Query,
+    spec: SweepSpec,
+    pairs: tuple[tuple[int, int], ...],
 ) -> list[SweepRow]:
-    """One work unit: every (estimator × config) cell for one query.
+    """Price a subset of one query's grid cells.
 
-    The workspace's catalog and bound cards are shared across all cells;
-    truth counts accumulated while costing are persisted to the truth
+    ``pairs`` are ``(config index, estimator index)`` coordinates into
+    the spec; rows come back in canonical cell order (config → estimator,
+    both in spec order) regardless of the order the pairs arrived in.
+    The workspace's catalog and bound cards are shared across all cells,
+    and truth counts accumulated while costing are persisted to the truth
     store (when attached) before the unit returns.
     """
+    wanted = set(pairs)
+    if not wanted:
+        return []
     ws: QueryWorkspace = resources.workspace(query)
     # materialise the truth bottom-up first: compute_all bounds peak
     # memory to two size-generations of compressed intermediates, whereas
@@ -72,8 +92,15 @@ def sweep_query(
     tcard = ws.true_card
     all_mask = query.all_mask
     rows: list[SweepRow] = []
-    for config in spec.configs:
-        cost_model = make_cost_model(config.cost_model, resources.db)
+    for c_index, config in enumerate(spec.configs):
+        estimator_indices = [
+            e_index
+            for e_index in range(len(spec.estimators))
+            if (c_index, e_index) in wanted
+        ]
+        if not estimator_indices:
+            continue
+        cost_model = resources.cost_model(config.cost_model)
         design = resources.design(config.indexes)
         dp = DPEnumerator(
             cost_model,
@@ -83,7 +110,8 @@ def sweep_query(
             shape=config.shape,
         )
         _, optimal_cost = dp.optimize(ws.context, tcard)
-        for estimator in spec.estimators:
+        for e_index in estimator_indices:
+            estimator = spec.estimators[e_index]
             card = ws.card(estimator)
             plan, est_cost = dp.optimize(ws.context, card)
             true_cost = plan_cost(plan, cost_model, tcard)
@@ -104,23 +132,16 @@ def sweep_query(
     return rows
 
 
-# --------------------------------------------------------------------- #
-# multiprocessing plumbing
-# --------------------------------------------------------------------- #
-
-#: per-worker state, populated by the pool initializer (works under both
-#: fork and spawn start methods)
-_WORKER: dict = {}
-
-
-def _init_worker(spec: SweepSpec, truth_root: str | None) -> None:
-    _WORKER["spec"] = spec
-    _WORKER["resources"] = build_resources(spec, truth_root)
-
-
-def _run_unit(query_name: str) -> list[SweepRow]:
-    resources: WorkloadResources = _WORKER["resources"]
-    return sweep_query(resources, resources.query(query_name), _WORKER["spec"])
+def sweep_query(
+    resources: WorkloadResources, query: Query, spec: SweepSpec
+) -> list[SweepRow]:
+    """One full work unit: every (estimator × config) cell for one query."""
+    pairs = tuple(
+        (c_index, e_index)
+        for c_index in range(len(spec.configs))
+        for e_index in range(len(spec.estimators))
+    )
+    return price_cells(resources, query, spec, pairs)
 
 
 # --------------------------------------------------------------------- #
@@ -128,17 +149,35 @@ def _run_unit(query_name: str) -> list[SweepRow]:
 # --------------------------------------------------------------------- #
 
 
+def _cell_row_key(cell: SweepCell) -> tuple[str, str, str]:
+    return (cell.key.query, cell.key.estimator, cell.key.config_fingerprint)
+
+
 def run_sweep(
     spec: SweepSpec,
     processes: int = 1,
     truth_root: str | Path | None = None,
     resources: WorkloadResources | None = None,
+    result_root: str | Path | None = None,
+    resume: bool = True,
+    progress=None,
+    stream_csv: str | Path | None = None,
 ) -> SweepResult:
-    """Run the full grid; sequential by default, pooled on request.
+    """Run the grid incrementally; sequential by default, pooled on request.
 
     ``resources`` may be passed to reuse an already-built workload in
     sequential mode (the parallel path always rebuilds per worker so that
     every process prices the grid against an identical database).
+
+    ``result_root`` attaches a persistent :class:`ResultStore`: cells
+    priced by any previous run — any process, ever — are replayed from
+    disk instead of recomputed, unless ``resume=False`` forces a full
+    re-price (the store is still updated).  ``progress`` is called with a
+    :class:`~repro.pipeline.results.UnitReport` as each unit completes;
+    ``stream_csv`` writes rows to that path as they arrive (flushed per
+    unit) and atomically canonicalises the file at the end.  Rows in the
+    returned result are always in canonical grid order, bit-identical
+    across sequential, pooled, and resumed runs.
     """
     if resources is not None and truth_root is not None:
         raise ValueError(
@@ -150,28 +189,117 @@ def run_sweep(
             "a prebuilt resources object cannot cross process boundaries; "
             "use processes=1 or let workers rebuild from the spec"
         )
-    if processes <= 1:
-        if resources is None:
-            resources = build_resources(spec, truth_root)
-        rows: list[SweepRow] = []
-        for query in resources.queries:
-            rows.extend(sweep_query(resources, query, spec))
-        return SweepResult(spec=spec, rows=rows)
 
-    if spec.query_names is not None:
-        names = list(spec.query_names)
-    else:
-        from repro.workloads import job_queries
+    units = decompose(spec)
+    store = (
+        ResultStore.for_spec(result_root, spec)
+        if result_root is not None
+        else None
+    )
 
-        names = [q.name for q in job_queries()]
-    truth_arg = str(truth_root) if truth_root is not None else None
-    ctx = multiprocessing.get_context()
-    rows = []
-    with ctx.Pool(
-        processes=min(processes, max(len(names), 1)),
-        initializer=_init_worker,
-        initargs=(spec, truth_arg),
-    ) as pool:
-        for unit_rows in pool.imap(_run_unit, names, chunksize=1):
-            rows.extend(unit_rows)
-    return SweepResult(spec=spec, rows=rows)
+    rows_by_cell: dict[tuple[str, str, str], SweepRow] = {}
+    cached_cells: dict[str, list[SweepCell]] = {u.query: [] for u in units}
+    pending_units: list[SweepUnit] = []
+    for unit in units:
+        pending: list[SweepCell] = []
+        stored = (
+            store.load(unit.query) if store is not None and resume else {}
+        )
+        for cell in unit.cells:
+            row = stored.get(
+                (cell.key.estimator, cell.key.config_fingerprint)
+            )
+            if row is not None:
+                rows_by_cell[_cell_row_key(cell)] = row
+                cached_cells[unit.query].append(cell)
+            else:
+                pending.append(cell)
+        if pending:
+            pending_units.append(
+                SweepUnit(
+                    query=unit.query,
+                    n_relations=unit.n_relations,
+                    workload_index=unit.workload_index,
+                    cells=tuple(pending),
+                )
+            )
+
+    n_cached = sum(len(cells) for cells in cached_cells.values())
+    n_priced = sum(len(u.cells) for u in pending_units)
+    total_units = len(units)
+    writer = (
+        CsvStreamWriter(stream_csv) if stream_csv is not None else None
+    )
+    completed = 0
+
+    def _report(query: str, priced: int, cached: int) -> None:
+        if progress is not None:
+            progress(
+                UnitReport(
+                    query=query,
+                    index=completed,
+                    total=total_units,
+                    priced=priced,
+                    cached=cached,
+                )
+            )
+
+    try:
+        # fully cached units complete immediately, in canonical order
+        pending_names = {u.query for u in pending_units}
+        for unit in units:
+            if unit.query in pending_names:
+                continue
+            completed += 1
+            if writer is not None:
+                writer.write(
+                    [rows_by_cell[_cell_row_key(c)] for c in unit.cells]
+                )
+            _report(unit.query, 0, len(unit.cells))
+
+        def _on_complete(unit: SweepUnit, rows: list[SweepRow]) -> None:
+            nonlocal completed
+            completed += 1
+            priced_cells = dict(zip(unit.cells, rows))
+            for cell, row in priced_cells.items():
+                rows_by_cell[_cell_row_key(cell)] = row
+            if store is not None:
+                store.save(
+                    unit.query,
+                    {
+                        (cell.key.estimator, cell.key.config_fingerprint): row
+                        for cell, row in priced_cells.items()
+                    },
+                )
+            if writer is not None:
+                # stream the unit's full row set (replayed cells included)
+                # so the mid-run CSV always holds complete units
+                unit_cells = sorted(
+                    list(priced_cells) + cached_cells[unit.query],
+                    key=lambda c: c.order,
+                )
+                writer.write(
+                    [rows_by_cell[_cell_row_key(c)] for c in unit_cells]
+                )
+            _report(unit.query, len(rows), len(cached_cells[unit.query]))
+
+        scheduler = SweepScheduler(
+            spec,
+            processes=processes,
+            truth_root=truth_root,
+            resources=resources,
+        )
+        scheduler.run(pending_units, _on_complete)
+
+        all_rows = gather_rows(units, rows_by_cell)
+        if writer is not None:
+            writer.finalize(all_rows)
+    finally:
+        if writer is not None:
+            writer.close()
+    return SweepResult(
+        spec=spec,
+        rows=all_rows,
+        priced_cells=n_priced,
+        cached_cells=n_cached,
+    )

@@ -66,6 +66,9 @@ class SweepSpec:
     Everything a worker process needs to rebuild the exact same database,
     workload, and estimator line-up lives here — results are therefore
     identical no matter how the grid is partitioned across processes.
+    ``dataset`` names the generator + workload pair (``imdb`` or
+    ``tpch``, see :mod:`repro.pipeline.tasks`); ``correlation`` only
+    shapes the IMDB generator.
     """
 
     scale: str = "tiny"
@@ -74,6 +77,7 @@ class SweepSpec:
     query_names: tuple[str, ...] | None = None
     estimators: tuple[str, ...] = tuple(ESTIMATOR_ORDER)
     configs: tuple[EnumeratorConfig, ...] = DEFAULT_CONFIGS
+    dataset: str = "imdb"
 
 
 @dataclass(frozen=True)
@@ -100,10 +104,18 @@ class SweepRow:
 
 @dataclass
 class SweepResult:
-    """All rows of one sweep, in deterministic grid order."""
+    """All rows of one sweep, in deterministic grid order.
+
+    ``priced_cells`` / ``cached_cells`` split the grid into cells this
+    run actually computed versus cells replayed from a persistent
+    :class:`~repro.pipeline.results.ResultStore` — an identical-spec
+    re-run reports ``priced_cells == 0``.
+    """
 
     spec: SweepSpec
     rows: list[SweepRow] = field(default_factory=list)
+    priced_cells: int = 0
+    cached_cells: int = 0
 
     def row(self, query: str, estimator: str, config: str) -> SweepRow:
         for r in self.rows:

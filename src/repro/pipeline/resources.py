@@ -219,6 +219,7 @@ class WorkloadResources:
         self.truth_store = truth_store
         self._workspaces: dict[str, QueryWorkspace] = {}
         self._designs: dict[IndexConfig, PhysicalDesign] = {}
+        self._cost_models: dict[str, "CostModel"] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -236,6 +237,21 @@ class WorkloadResources:
             design = PhysicalDesign(self.db, config)
             self._designs[config] = design
         return design
+
+    def cost_model(self, name: str) -> "CostModel":
+        """The named cost model, built once per workload.
+
+        Cost models are stateless functions of ``(name, db)`` (their own
+        interface contract), so one instance per sweep serves every
+        (query × config) cell instead of being rebuilt per cell.
+        """
+        model = self._cost_models.get(name)
+        if model is None:
+            from repro.pipeline.grid import make_cost_model
+
+            model = make_cost_model(name, self.db)
+            self._cost_models[name] = model
+        return model
 
     def query(self, name: str) -> Query:
         for q in self.queries:

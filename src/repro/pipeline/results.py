@@ -1,0 +1,242 @@
+"""Result store + streaming reports: persist and replay priced cells.
+
+The :class:`ResultStore` is to :class:`~repro.pipeline.grid.SweepRow`
+what the :class:`~repro.pipeline.truthstore.TruthStore` is to exact
+counts: a per-query JSON file under a directory that encodes the
+database identity, written with the same atomic temp-file + rename +
+per-query ``flock`` discipline, living side by side with the truth files
+(``<db-key>/results/<query>.json`` next to ``<db-key>/<query>.json``).
+Within a file, rows are keyed by ``estimator|config-fingerprint`` — the
+per-query remainder of the cell's
+:class:`~repro.pipeline.tasks.CellKey` — so a re-run of an identical
+spec replays every cell from disk and a changed spec recomputes exactly
+the cells whose identity changed.
+
+Floats survive the JSON round trip exactly (``json`` serialises via
+``repr``), so replayed rows are bit-identical to freshly priced ones —
+including in CSV output.
+
+The reporting half streams results while a sweep is still running:
+:class:`CsvStreamWriter` appends complete rows (flushed after every
+unit) in completion order and atomically rewrites the file in canonical
+grid order at the end, and :class:`UnitReport` is the progress event
+handed to ``run_sweep(progress=...)`` callbacks as each unit completes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+from repro.pipeline.grid import SweepRow, SweepSpec
+from repro.pipeline.truthstore import atomic_write_json, db_key, locked
+
+_FORMAT_VERSION = 1
+
+#: SweepRow field names, in dataclass (= CSV column) order
+ROW_FIELDS = tuple(f.name for f in fields(SweepRow))
+
+_FLOAT_FIELDS = tuple(
+    f.name for f in fields(SweepRow) if f.type in ("float", float)
+)
+
+
+def _row_key(estimator: str, config_fingerprint: str) -> str:
+    return f"{estimator}|{config_fingerprint}"
+
+
+class ResultStore:
+    """One directory of per-query priced-row files for one database.
+
+    The directory key matches the :class:`TruthStore`'s — generator and
+    workload versions included — because a row is only replayable against
+    the exact data and query shapes it was priced for.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        scale: str,
+        seed: int,
+        correlation: float = 0.8,
+        dataset: str = "imdb",
+    ) -> None:
+        self.root = Path(root)
+        self.directory = (
+            self.root
+            / db_key(scale, seed, correlation=correlation, dataset=dataset)
+            / "results"
+        )
+
+    @classmethod
+    def for_spec(cls, root: str | Path, spec: SweepSpec) -> "ResultStore":
+        return cls(
+            root,
+            spec.scale,
+            spec.seed,
+            correlation=spec.correlation,
+            dataset=spec.dataset,
+        )
+
+    def path(self, query_name: str) -> Path:
+        return self.directory / f"{query_name}.json"
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, query_name: str) -> dict[tuple[str, str], SweepRow]:
+        """Stored rows for one query, keyed by (estimator, fingerprint).
+
+        Corrupt, incompatible, or missing files read as empty — the sweep
+        recomputes and overwrites those cells.
+        """
+        try:
+            raw = json.loads(self.path(query_name).read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+            return {}
+        rows: dict[tuple[str, str], SweepRow] = {}
+        for key, payload in raw.get("rows", {}).items():
+            estimator, _, fingerprint = key.partition("|")
+            try:
+                row = SweepRow(**{
+                    name: (
+                        float(payload[name]) if name in _FLOAT_FIELDS
+                        else str(payload[name])
+                    )
+                    for name in ROW_FIELDS
+                })
+            except (KeyError, TypeError, ValueError):
+                return {}
+            rows[(estimator, fingerprint)] = row
+        return rows
+
+    def save(
+        self,
+        query_name: str,
+        rows: dict[tuple[str, str], SweepRow],
+    ) -> Path | None:
+        """Atomically merge ``rows`` into the query's file.
+
+        The per-query ``flock`` makes the load-merge-write sequence safe
+        against a concurrent sweep saving the same query: neither writer
+        can drop the other's cells.
+        """
+        if not rows:
+            return None
+        path = self.path(query_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with locked(path.parent / f".{query_name}.lock"):
+            merged = self.load(query_name)
+            merged.update(rows)
+            payload = {
+                "version": _FORMAT_VERSION,
+                "rows": {
+                    _row_key(estimator, fingerprint): asdict(row)
+                    for (estimator, fingerprint), row in sorted(merged.items())
+                },
+            }
+            atomic_write_json(path, payload)
+        return path
+
+    def known_queries(self) -> list[str]:
+        """Names of queries with stored rows, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+
+# --------------------------------------------------------------------- #
+# streaming reports
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class UnitReport:
+    """Progress event for one completed work unit (= one query).
+
+    ``index`` counts completions (1-based) out of ``total`` units;
+    ``priced`` and ``cached`` split the unit's cells into freshly
+    computed versus replayed from the result store.
+    """
+
+    query: str
+    index: int
+    total: int
+    priced: int
+    cached: int
+
+    def render(self) -> str:
+        source = "result cache" if self.priced == 0 else (
+            f"priced {self.priced}"
+            + (f", {self.cached} cached" if self.cached else "")
+        )
+        return f"[{self.index}/{self.total}] {self.query}: {source}"
+
+
+class CsvStreamWriter:
+    """Write sweep rows to CSV incrementally, then canonicalise.
+
+    While the sweep runs, rows land in **completion order** and the file
+    is flushed (and fsync'd) after every unit, so a concurrent reader —
+    or a run killed halfway — always sees a valid CSV of complete rows.
+    :meth:`finalize` atomically replaces the file with the rows in
+    canonical grid order, making the finished file byte-identical no
+    matter how the run was scheduled or resumed.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: io.TextIOWrapper | None = self.path.open("w", newline="")
+        self._writer = csv.DictWriter(self._handle, fieldnames=list(ROW_FIELDS))
+        self._writer.writeheader()
+        self._flush()
+
+    def _flush(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def write(self, rows: list[SweepRow]) -> None:
+        if self._handle is None:
+            raise ValueError("writer is closed")
+        for row in rows:
+            self._writer.writerow(asdict(row))
+        self._flush()
+
+    def finalize(self, rows: list[SweepRow]) -> Path:
+        """Atomically rewrite the file with ``rows`` in the given order."""
+        self.close()
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{self.path.name}.", suffix=".tmp", dir=self.path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=list(ROW_FIELDS))
+                writer.writeheader()
+                for row in rows:
+                    writer.writerow(asdict(row))
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CsvStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,181 @@
+"""Scheduler layer: order, fan out, and gather sweep work units.
+
+Work units (one query each, see :mod:`repro.pipeline.tasks`) run
+**largest-first**: descending ``n_relations``, workload order as the
+tie-break.  The sweep's wall time under a pool is dominated by its
+longest unit, and the long units are the many-relation queries — launch
+a 29a-sized straggler last and every other worker idles while it runs;
+launch it first and the small queries pack into the tail.  Sequential
+runs use the same order so that a resumed run, whatever mode produced
+its cached cells, always observes one schedule.
+
+Execution order is therefore *not* output order.  Units report
+completion as they finish (that is what makes streaming reports
+possible), and :func:`gather_rows` re-sorts the collected rows by their
+cells' canonical ``order`` at the end — so pooled, resumed, and
+largest-first runs all emit bit-identical row sequences.
+
+The pool plumbing ships ``(query name, cell index pairs)`` to workers;
+workers rebuild the world deterministically from the spec they received
+at initialisation, exactly like the original driver did.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.pipeline.grid import SweepRow, SweepSpec
+from repro.pipeline.tasks import SweepCell, SweepUnit
+
+#: callback invoked as each unit completes: (unit, freshly priced rows)
+UnitCallback = Callable[[SweepUnit, list[SweepRow]], None]
+
+
+def order_units(units: Sequence[SweepUnit]) -> list[SweepUnit]:
+    """Largest-first schedule: descending ``n_relations``, stable."""
+    return sorted(units, key=lambda u: (-u.n_relations, u.workload_index))
+
+
+def gather_rows(
+    units: Sequence[SweepUnit],
+    rows_by_cell: dict[tuple[str, str, str], SweepRow],
+) -> list[SweepRow]:
+    """Re-sort gathered rows into canonical grid order.
+
+    ``rows_by_cell`` is keyed by ``(query, estimator, fingerprint)`` —
+    the per-run-unique remainder of the cell key.  Missing cells are
+    skipped (a unit may have been interrupted); extra rows are ignored.
+    """
+    ordered: list[SweepRow] = []
+    for unit in units:
+        for cell in unit.cells:
+            row = rows_by_cell.get(
+                (cell.key.query, cell.key.estimator, cell.key.config_fingerprint)
+            )
+            if row is not None:
+                ordered.append(row)
+    return ordered
+
+
+# --------------------------------------------------------------------- #
+# multiprocessing plumbing
+# --------------------------------------------------------------------- #
+
+#: per-worker state, populated by the pool initializer (works under both
+#: fork and spawn start methods)
+_WORKER: dict = {}
+
+
+def _init_worker(spec: SweepSpec, truth_root: str | None) -> None:
+    from repro.pipeline.driver import build_resources
+
+    _WORKER["spec"] = spec
+    _WORKER["resources"] = build_resources(spec, truth_root)
+
+
+def _run_unit(
+    payload: tuple[str, tuple[tuple[int, int], ...]]
+) -> tuple[str, list[SweepRow]]:
+    from repro.pipeline.driver import price_cells
+
+    query_name, pairs = payload
+    spec: SweepSpec = _WORKER["spec"]
+    resources = _WORKER["resources"]
+    rows = price_cells(resources, resources.query(query_name), spec, pairs)
+    return query_name, rows
+
+
+def _cell_pairs(cells: Sequence[SweepCell]) -> tuple[tuple[int, int], ...]:
+    return tuple((c.config_index, c.estimator_index) for c in cells)
+
+
+class SweepScheduler:
+    """Runs pending units — sequentially or across a pool — largest-first.
+
+    The scheduler prices only what it is handed: callers pass units whose
+    ``cells`` are the still-unpriced delta (the result store already
+    served the rest).  Resources for the sequential path are built
+    lazily, so a fully cached sweep never generates its database at all.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        processes: int = 1,
+        truth_root: str | Path | None = None,
+        resources=None,
+    ) -> None:
+        self.spec = spec
+        self.processes = processes
+        self.truth_root = truth_root
+        self.resources = resources
+
+    def run(
+        self,
+        units: Sequence[SweepUnit],
+        on_complete: UnitCallback | None = None,
+    ) -> dict[str, list[SweepRow]]:
+        """Price every cell of ``units``; report units as they finish.
+
+        Returns freshly priced rows keyed by query name.  ``on_complete``
+        fires in completion order — under a pool that order is
+        nondeterministic, which is why callers must re-sort via
+        :func:`gather_rows` before emitting final output.
+        """
+        ordered = order_units(units)
+        if not ordered:
+            return {}
+        if self.processes <= 1:
+            return self._run_sequential(ordered, on_complete)
+        return self._run_pooled(ordered, on_complete)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_sequential(
+        self, ordered: list[SweepUnit], on_complete: UnitCallback | None
+    ) -> dict[str, list[SweepRow]]:
+        from repro.pipeline import driver
+
+        resources = self.resources
+        if resources is None:
+            resources = driver.build_resources(self.spec, self.truth_root)
+            self.resources = resources
+        priced: dict[str, list[SweepRow]] = {}
+        for unit in ordered:
+            rows = driver.price_cells(
+                resources,
+                resources.query(unit.query),
+                self.spec,
+                _cell_pairs(unit.cells),
+            )
+            priced[unit.query] = rows
+            if on_complete is not None:
+                on_complete(unit, rows)
+        return priced
+
+    def _run_pooled(
+        self, ordered: list[SweepUnit], on_complete: UnitCallback | None
+    ) -> dict[str, list[SweepRow]]:
+        by_query = {unit.query: unit for unit in ordered}
+        payloads = [
+            (unit.query, _cell_pairs(unit.cells)) for unit in ordered
+        ]
+        truth_arg = (
+            str(self.truth_root) if self.truth_root is not None else None
+        )
+        ctx = multiprocessing.get_context()
+        priced: dict[str, list[SweepRow]] = {}
+        with ctx.Pool(
+            processes=min(self.processes, max(len(payloads), 1)),
+            initializer=_init_worker,
+            initargs=(self.spec, truth_arg),
+        ) as pool:
+            for query_name, rows in pool.imap_unordered(
+                _run_unit, payloads, chunksize=1
+            ):
+                priced[query_name] = rows
+                if on_complete is not None:
+                    on_complete(by_query[query_name], rows)
+        return priced

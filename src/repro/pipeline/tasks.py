@@ -1,0 +1,232 @@
+"""Task layer: decompose a sweep into addressable grid cells.
+
+The sweep grid is a cross product, but incremental execution needs
+*identity*: a re-run must recognise that a cell it is about to price has
+already been priced — by any previous run, in any process — and a changed
+spec must invalidate exactly the cells it changed.  This module gives
+every cell a stable content key:
+
+    (dataset, scale, seed, correlation, generator version, workload
+     version, query, estimator, enumerator-config fingerprint)
+
+Everything that determines a :class:`~repro.pipeline.grid.SweepRow`'s
+floats is in the key; nothing else is.  The config *fingerprint* hashes
+every field of the :class:`~repro.pipeline.grid.EnumeratorConfig`, so
+flipping ``allow_nlj`` or the cost model invalidates that config's cells
+and no others.
+
+A :class:`SweepUnit` groups one query's cells — the unit of scheduling,
+because per-query structure (subgraph catalog, truth materialisation) is
+what makes cells of the same query cheap to price together.  Units carry
+``n_relations`` so the scheduler can order them largest-first.
+
+The module also owns dataset identity: which generators and workloads a
+:class:`~repro.pipeline.grid.SweepSpec.dataset` name refers to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from enum import Enum
+
+from repro.catalog.schema import Database
+from repro.pipeline.grid import EnumeratorConfig, SweepSpec
+from repro.query.query import Query
+
+#: dataset names a spec may carry, and what they mean
+DATASETS = ("imdb", "tpch")
+
+
+def check_dataset(dataset: str) -> None:
+    """Raise ``ValueError`` for a dataset name no generator backs."""
+    if dataset not in DATASETS:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; choose from {', '.join(DATASETS)}"
+        )
+
+
+def make_database(
+    dataset: str, scale: str, seed: int, correlation: float = 0.8
+) -> Database:
+    """Deterministically generate the database a spec describes.
+
+    ``correlation`` only shapes the IMDB generator; the TPC-H generator is
+    uniform/independent *by construction* (that is Figure 4's point), so
+    the parameter is accepted but has no effect there.
+    """
+    check_dataset(dataset)
+    if dataset == "imdb":
+        from repro.datagen import generate_imdb
+
+        return generate_imdb(scale, seed=seed, correlation=correlation)
+    from repro.datagen import generate_tpch
+
+    return generate_tpch(scale, seed=seed)
+
+
+def workload_queries(dataset: str) -> list[Query]:
+    """The full workload of a dataset, in canonical order."""
+    check_dataset(dataset)
+    if dataset == "imdb":
+        from repro.workloads import job_queries
+
+        return job_queries()
+    from repro.workloads import tpch_queries
+
+    return tpch_queries()
+
+
+def workload_query(dataset: str, name: str) -> Query:
+    """One named workload query of a dataset."""
+    check_dataset(dataset)
+    if dataset == "imdb":
+        from repro.workloads import job_query
+
+        return job_query(name)
+    from repro.workloads import TPCH_QUERIES
+
+    try:
+        return TPCH_QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tpch query {name!r}; choose from "
+            f"{', '.join(TPCH_QUERIES)}"
+        ) from None
+
+
+def config_fingerprint(config: EnumeratorConfig) -> str:
+    """Stable short hash over *every* field of an enumerator config.
+
+    Iterates the dataclass fields so a future config knob is part of the
+    identity automatically — forgetting to extend the fingerprint could
+    silently serve stale cached rows.
+    """
+    payload = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, Enum):
+            value = value.name
+        payload[f.name] = value
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The stable content key of one sweep grid cell.
+
+    Two cells with equal keys are guaranteed to produce bit-identical
+    :class:`~repro.pipeline.grid.SweepRow` floats: the database is a pure
+    function of ``(dataset, scale, seed, correlation, datagen_version)``,
+    the query shape of ``(workload_version, query)``, and the optimizer
+    run of ``(estimator, config_fingerprint)``.
+    """
+
+    dataset: str
+    scale: str
+    seed: int
+    correlation: float
+    datagen_version: int
+    workload_version: int
+    query: str
+    estimator: str
+    config_fingerprint: str
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One addressable cell: its key, its grid coordinates, its rank.
+
+    ``order`` is the cell's position in the canonical grid order (query →
+    config → estimator, exactly the sequential driver's loop nesting);
+    gathering re-sorts by it so parallel and resumed runs emit rows in the
+    same order as a cold sequential run.  ``config_index`` and
+    ``estimator_index`` point back into the spec, which is how pool
+    workers — who hold the spec already — receive their cells without
+    re-pickling config objects.
+    """
+
+    key: CellKey
+    config_index: int
+    estimator_index: int
+    order: int
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One query's cells: the unit of scheduling and of result storage."""
+
+    query: str
+    n_relations: int
+    workload_index: int
+    cells: tuple[SweepCell, ...]
+
+
+def spec_queries(spec: SweepSpec) -> list[Query]:
+    """The query objects a spec names, in spec (= workload) order."""
+    if spec.query_names is None:
+        return workload_queries(spec.dataset)
+    return [workload_query(spec.dataset, name) for name in spec.query_names]
+
+
+def decompose(spec: SweepSpec) -> list[SweepUnit]:
+    """Break a spec into per-query units of addressable cells.
+
+    Units come back in canonical workload order with globally increasing
+    cell ``order`` — sorting any subset of gathered rows by it
+    reconstructs the sequential driver's output order exactly.
+    """
+    from repro.datagen import DATAGEN_VERSION
+    from repro.workloads import WORKLOAD_VERSION
+
+    fingerprints = [config_fingerprint(c) for c in spec.configs]
+    seen: set[tuple[str, str]] = set()
+    for config, fp in zip(spec.configs, fingerprints):
+        if (config.name, fp) in seen:
+            raise ValueError(
+                f"duplicate enumerator config {config.name!r} in spec"
+            )
+        seen.add((config.name, fp))
+    names = {name for name, _ in seen}
+    if len(names) != len(seen):
+        raise ValueError(
+            "two distinct enumerator configs share a name; rows would be "
+            "ambiguous — give each config a unique name"
+        )
+
+    units: list[SweepUnit] = []
+    order = 0
+    for w_index, query in enumerate(spec_queries(spec)):
+        cells: list[SweepCell] = []
+        for c_index, fp in enumerate(fingerprints):
+            for e_index, estimator in enumerate(spec.estimators):
+                cells.append(
+                    SweepCell(
+                        key=CellKey(
+                            dataset=spec.dataset,
+                            scale=spec.scale,
+                            seed=spec.seed,
+                            correlation=spec.correlation,
+                            datagen_version=DATAGEN_VERSION,
+                            workload_version=WORKLOAD_VERSION,
+                            query=query.name,
+                            estimator=estimator,
+                            config_fingerprint=fp,
+                        ),
+                        config_index=c_index,
+                        estimator_index=e_index,
+                        order=order,
+                    )
+                )
+                order += 1
+        units.append(
+            SweepUnit(
+                query=query.name,
+                n_relations=query.n_relations,
+                workload_index=w_index,
+                cells=tuple(cells),
+            )
+        )
+    return units

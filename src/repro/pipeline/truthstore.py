@@ -23,10 +23,85 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+try:  # pragma: no cover - always available on the supported platforms
+    import fcntl
+except ImportError:  # Windows: fall back to atomic-rename-only semantics
+    fcntl = None  # type: ignore[assignment]
+
 _FORMAT_VERSION = 1
+
+
+@contextmanager
+def locked(lock_path: Path):
+    """Exclusive advisory lock held for a load-merge-write sequence.
+
+    ``os.replace`` alone makes individual writes atomic but not the
+    *merge*: two processes that both load, union, and rename can each
+    persist a file missing the other's additions (a classic lost
+    update).  Serialising the whole sequence on a per-query ``flock``
+    closes that window; the lock file itself is empty and never removed
+    (removing it would race lockers on the old inode).
+
+    The guarantee is POSIX-scoped: where ``fcntl`` is unavailable
+    (Windows), this degrades to atomic-rename-only semantics — writes
+    never corrupt, but concurrent merges may lose cells and re-price
+    them on the next run.
+    """
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "a") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON via temp file + rename (never torn)."""
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        # mkstemp creates 0600 files; a shared cache directory must be
+        # readable by other users, so restore the umask-derived mode
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def db_key(
+    scale: str, seed: int, correlation: float = 0.8, dataset: str = "imdb"
+) -> str:
+    """The directory name encoding one generated database's identity.
+
+    Generator and workload versions are part of the key: counts and
+    priced rows are only valid for the data a specific generator
+    produced AND the query shapes they were computed for.  The truth
+    store and the result store share this key so their files live side
+    by side.
+    """
+    from repro.datagen import DATAGEN_VERSION
+    from repro.workloads import WORKLOAD_VERSION
+
+    return (
+        f"{dataset}-{scale}-seed{seed}-corr{correlation:g}"
+        f"-gen{DATAGEN_VERSION}-wl{WORKLOAD_VERSION}"
+    )
+
 
 #: sentinel for "every connected subset" in coverage arithmetic
 _FULL = 10**9
@@ -72,16 +147,9 @@ class TruthStore:
         correlation: float = 0.8,
         dataset: str = "imdb",
     ) -> None:
-        from repro.datagen import DATAGEN_VERSION
-        from repro.workloads import WORKLOAD_VERSION
-
-        # generator and workload versions are part of the key: counts are
-        # only "exact" for the data a specific generator produced AND the
-        # query shapes they were counted for
         self.root = Path(root)
-        self.directory = self.root / (
-            f"{dataset}-{scale}-seed{seed}-corr{correlation:g}"
-            f"-gen{DATAGEN_VERSION}-wl{WORKLOAD_VERSION}"
+        self.directory = self.root / db_key(
+            scale, seed, correlation=correlation, dataset=dataset
         )
 
     def path(self, query_name: str) -> Path:
@@ -121,44 +189,34 @@ class TruthStore:
         unfiltered: dict[tuple[int, str], int] | None = None,
         max_size: int | None = None,
     ) -> Path:
-        """Atomically merge-and-write the counts for ``query_name``."""
-        existing = self.load(query_name)
-        merged_counts = dict(counts)
-        merged_unfiltered = dict(unfiltered or {})
-        if existing is not None:
-            merged_counts = {**existing.counts, **merged_counts}
-            merged_unfiltered = {**existing.unfiltered, **merged_unfiltered}
-            if existing.covers(max_size):
-                max_size = existing.max_size
-        payload = {
-            "version": _FORMAT_VERSION,
-            "max_size": max_size,
-            "counts": {str(k): v for k, v in sorted(merged_counts.items())},
-            "unfiltered": {
-                f"{subset}:{alias}": v
-                for (subset, alias), v in sorted(merged_unfiltered.items())
-            },
-        }
+        """Merge-and-write the counts for ``query_name``, atomically and
+        under a per-query exclusive lock (two workers saving the same
+        query cannot drop each other's counts)."""
         path = self.path(query_name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=f".{query_name}.", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            # mkstemp creates 0600 files; a shared cache directory must be
-            # readable by other users, so restore the umask-derived mode
-            umask = os.umask(0)
-            os.umask(umask)
-            os.chmod(tmp, 0o666 & ~umask)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        with locked(path.parent / f".{query_name}.lock"):
+            existing = self.load(query_name)
+            merged_counts = dict(counts)
+            merged_unfiltered = dict(unfiltered or {})
+            if existing is not None:
+                merged_counts = {**existing.counts, **merged_counts}
+                merged_unfiltered = {
+                    **existing.unfiltered, **merged_unfiltered
+                }
+                if existing.covers(max_size):
+                    max_size = existing.max_size
+            payload = {
+                "version": _FORMAT_VERSION,
+                "max_size": max_size,
+                "counts": {
+                    str(k): v for k, v in sorted(merged_counts.items())
+                },
+                "unfiltered": {
+                    f"{subset}:{alias}": v
+                    for (subset, alias), v in sorted(merged_unfiltered.items())
+                },
+            }
+            atomic_write_json(path, payload)
         return path
 
     def known_queries(self) -> list[str]:
