@@ -33,8 +33,10 @@ from repro.cardinality.profiles import (
 from repro.cardinality.qerror import q_error, signed_ratio
 from repro.cardinality.sampling import SamplingEstimator
 from repro.cardinality.truth import TrueCardinalities
+from repro.cardinality.truth_plan import MaterialisationPlan
 
 __all__ = [
+    "MaterialisationPlan",
     "CardinalityEstimator",
     "BoundCard",
     "PostgresEstimator",

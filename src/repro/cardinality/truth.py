@@ -19,6 +19,18 @@ sizes — the result of joining an outer plan with a base table **before**
 that table's selection is applied (the paper's ``A ⋈ B`` vs
 ``σ(A) ⋈ B`` distinction); :meth:`TrueCardinalities.cardinality` supports
 these through ``unfiltered_alias``.
+
+Bulk computation is organised around an explicit
+:class:`~repro.cardinality.truth_plan.MaterialisationPlan` — the
+per-query DAG of connected subsets grouped into size levels, where each
+level depends only on materialisations from smaller levels.
+:meth:`TrueCardinalities.compute_all` walks the plan level by level
+(evicting stale materialisations as it goes), and with ``processes > 1``
+hands whole levels to the level-parallel executor in
+:mod:`repro.cardinality.truth_plan`, which shards a level's subsets
+across a ``ProcessPoolExecutor`` and merges the exact counts back into
+the same per-query state — parallel output is bit-identical to
+sequential.
 """
 
 from __future__ import annotations
@@ -36,6 +48,7 @@ from repro.query.join_graph import JoinGraph
 from repro.query.query import Query
 from repro.query.subgraphs import SubgraphCatalog
 from repro.util.bitset import popcount
+from repro.util.coverage import covers
 from repro.util.joinkeys import equi_join_indices
 
 
@@ -48,7 +61,16 @@ class _KeyedResult:
 
 
 class _QueryState:
-    """Per-query caches of the truth oracle."""
+    """Per-query caches of the truth oracle.
+
+    ``complete_cover`` is the cache-completeness claim for ``counts``:
+    ``False`` means no bulk enumeration has finished, an int (or ``None``
+    for "all sizes") means every connected subset up to that size has a
+    count.  :meth:`TrueCardinalities.compute_all` must consult it through
+    :meth:`covered` — which caps the claim at the query's relation count
+    — so a truncated ``compute_all(max_size=...)`` can never satisfy a
+    later full request from cache.
+    """
 
     def __init__(self, query: Query) -> None:
         self.query = query
@@ -58,6 +80,34 @@ class _QueryState:
         self.unfiltered_counts: dict[tuple[int, str], int] = {}
         self.results: dict[int, _KeyedResult] = {}
         self.base_row_ids: dict[str, np.ndarray] = {}
+        self.complete_cover: int | None | bool = False
+        self._plan: "MaterialisationPlan | None" = None  # noqa: F821
+
+    def plan(self) -> "MaterialisationPlan":  # noqa: F821
+        """The query's (full) materialisation plan, built once.
+
+        The plan always describes every level; callers slice it by the
+        size cap they need, so a capped request can never poison the
+        cache with a truncated level set.
+        """
+        if self._plan is None:
+            from repro.cardinality.truth_plan import MaterialisationPlan
+
+            self._plan = MaterialisationPlan(self.catalog)
+        return self._plan
+
+    def covered(self, max_size: int | None) -> bool:
+        """Whether every count up to ``max_size`` is already cached."""
+        if self.complete_cover is False:
+            return False
+        return covers(self.complete_cover, max_size, self.graph.n)
+
+    def widen_cover(self, max_size: int | None) -> None:
+        """Record that counts are now complete up to ``max_size``."""
+        if self.complete_cover is False or not covers(
+            self.complete_cover, max_size, self.graph.n
+        ):
+            self.complete_cover = max_size
 
 
 class TrueCardinalities(CardinalityEstimator):
@@ -96,6 +146,10 @@ class TrueCardinalities(CardinalityEstimator):
             weakref.WeakValueDictionary()
         )
         self._recent: "OrderedDict[int, _QueryState]" = OrderedDict()
+        # lazily created worker pool for level-parallel compute_all; the
+        # database ships to each worker exactly once (pool initializer)
+        self._pool = None
+        self._pool_processes = 0
 
     # ------------------------------------------------------------------ #
 
@@ -306,25 +360,65 @@ class TrueCardinalities(CardinalityEstimator):
     # bulk computation and memory control
     # ------------------------------------------------------------------ #
 
-    def compute_all(self, query: Query, max_size: int | None = None) -> dict[int, int]:
+    def compute_all(
+        self,
+        query: Query,
+        max_size: int | None = None,
+        processes: int = 1,
+    ) -> dict[int, int]:
         """Exact counts for every connected subset up to ``max_size``.
 
-        Processes subsets in size order and evicts materialisations more
-        than one level below the current size, bounding peak memory to two
-        "generations" of compressed intermediates.
+        Walks the query's :class:`~repro.cardinality.truth_plan.
+        MaterialisationPlan` level by level, evicting materialisations
+        more than one level below the current size — peak memory is two
+        "generations" of compressed intermediates.  With ``processes >
+        1`` the levels are executed by the level-parallel pool executor
+        (see :mod:`repro.cardinality.truth_plan`); the merged counts are
+        bit-identical to a sequential run.  A request fully answered by
+        the state's completeness claim (an earlier equal-or-wider
+        ``compute_all``, or a preload that carried its coverage) returns
+        from cache without touching the plan.
         """
         state = self._state(query)
-        from repro.query.subgraphs import connected_subsets
+        if state.covered(max_size):
+            return dict(state.counts)
+        plan = state.plan()
+        cap = plan.cap(max_size)
+        if processes > 1 and self._can_parallelize():
+            from repro.cardinality.truth_plan import compute_plan_parallel
 
-        subsets = connected_subsets(state.graph, max_size=max_size)
-        current_size = 1
-        for subset in subsets:
-            size = popcount(subset)
-            if size > current_size:
-                self._evict(state, keep_min_size=size - 1)
-                current_size = size
-            self._count(state, subset)
+            compute_plan_parallel(self, state, plan, cap, processes)
+        else:
+            for size in range(1, cap + 1):
+                if size > 1:
+                    self._evict(state, keep_min_size=size - 1)
+                for subset in plan.levels[size]:
+                    self._count(state, subset)
+        state.widen_cover(max_size)
         return dict(state.counts)
+
+    @staticmethod
+    def _can_parallelize() -> bool:
+        """Whether this process may fan the oracle out to child workers.
+
+        Daemonic processes (e.g. ``multiprocessing.Pool`` sweep workers)
+        cannot spawn children; the oracle silently falls back to the
+        sequential walk there rather than crash.
+        """
+        import multiprocessing
+
+        return not multiprocessing.current_process().daemon
+
+    def close(self) -> None:
+        """Shut down the level-parallel worker pool (if one was started).
+
+        Idempotent; the oracle remains usable afterwards (a later
+        parallel ``compute_all`` starts a fresh pool).
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_processes = 0
 
     def _evict(self, state: _QueryState, keep_min_size: int) -> None:
         stale = [
@@ -379,15 +473,23 @@ class TrueCardinalities(CardinalityEstimator):
         query: Query,
         counts: dict[int, int],
         unfiltered_counts: dict[tuple[int, str], int] | None = None,
+        cover: int | None | bool = False,
     ) -> None:
         """Seed the per-query caches with previously exported exact counts.
 
         Counts are ground truth for a given database, so preloading them
         (e.g. from a disk cache keyed by the database's generator
         parameters) lets a fresh process skip the exhaustive bottom-up
-        materialisation entirely.
+        materialisation entirely.  ``cover`` is the completeness claim
+        that came with the counts (a :class:`~repro.pipeline.truthstore.
+        TruthPayload`'s ``max_size``): an int or ``None`` lets a later
+        ``compute_all`` up to that size return straight from cache, the
+        default ``False`` claims nothing — ad-hoc counts never masquerade
+        as a finished enumeration.
         """
         state = self._state(query)
         state.counts.update(counts)
         if unfiltered_counts:
             state.unfiltered_counts.update(unfiltered_counts)
+        if cover is not False:
+            state.widen_cover(cover)

@@ -1,0 +1,330 @@
+"""Materialisation plans and the level-parallel truth-oracle executor.
+
+The truth oracle builds every connected subexpression bottom-up: a
+subset of size k is one equi-join away from its *expansion parent* of
+size k-1.  That parent relation makes the per-query computation an
+explicit DAG — the :class:`MaterialisationPlan` — whose nodes group into
+**size levels**: each level's subsets depend only on materialisations
+from smaller levels, so a whole level can be computed in parallel.
+
+:func:`compute_plan_parallel` executes a plan across a
+``ProcessPoolExecutor``:
+
+* The database ships to every worker exactly **once**, through the pool
+  initializer — tasks never carry base-table arrays.  Workers keep their
+  singleton (base relation) materialisations cached across tasks.
+* Levels are processed in rounds of :data:`LEVEL_STRIDE` consecutive
+  levels.  A round's unit of work is a *boundary group*: all of a
+  round's subsets that descend from one already-materialised subset on
+  the round's entry level.  The group's boundary materialisation is the
+  only intermediate shipped to the worker; every deeper join inside the
+  group happens in-task, so the results of a round's interior levels are
+  consumed where they are produced and never serialised at all — only
+  one level in :data:`LEVEL_STRIDE` ever crosses a process boundary.
+* Tasks return exact counts for their subsets plus the compressed
+  materialisations the *next* round's groups will be seeded with.  A
+  missing seed (partially cached plans, coverage gaps from a truncated
+  preload) is never an error — workers rebuild the parent chain locally
+  from their base tables, which is exactly what the sequential oracle
+  does.
+
+Counts are exact integers and every join is deterministic, so the merged
+result is bit-identical to a sequential :meth:`TrueCardinalities.
+compute_all` no matter how the levels were sharded — the differential
+harness (``tests/test_truth_differential.py``) locks that property down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.util.bitset import popcount
+
+#: consecutive levels materialised per parallel round.  A task computes
+#: its boundary materialisations' whole depth-STRIDE subtrees, so only
+#: every STRIDE-th level is serialised and the number of synchronisation
+#: barriers shrinks by the same factor; larger strides trade away load
+#: balance (fewer, coarser groups per round).
+LEVEL_STRIDE = 3
+
+#: boundary groups are split into up to this many chunks per worker and
+#: greedily balanced by estimated join work, so one heavy subtree cannot
+#: serialise a round.
+CHUNKS_PER_WORKER = 3
+
+
+class MaterialisationPlan:
+    """The per-query DAG of connected subsets, grouped into size levels.
+
+    Structure is derived once from the (cached) subgraph catalog and
+    shared by the sequential walk, the parallel executor, and any future
+    scheduler that wants to reason about the oracle's critical path.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[k]`` lists the connected subsets of size ``k`` in
+        deterministic (ascending bitmask) order; index 0 is empty.
+    parent:
+        ``subset -> (parent, bit)`` for every composite subset — the
+        expansion edge the oracle joins along.
+    """
+
+    def __init__(self, catalog) -> None:
+        graph = catalog.graph
+        self.n = graph.n
+        levels: list[list[int]] = [[] for _ in range(self.n + 1)]
+        parent: dict[int, tuple[int, int]] = {}
+        for subset in catalog.csgs:
+            size = popcount(subset)
+            levels[size].append(subset)
+            if size > 1:
+                parent[subset] = catalog.expansion_parent(subset)
+        self.levels = levels
+        self.parent = parent
+
+    @property
+    def top(self) -> int:
+        """The largest level with any subset (== size of the join graph
+        for a connected query)."""
+        for size in range(self.n, 0, -1):
+            if self.levels[size]:
+                return size
+        return 0
+
+    def cap(self, max_size: int | None) -> int:
+        """The effective top level for a ``max_size`` request."""
+        if max_size is None:
+            return self.top
+        return max(1, min(max_size, self.top))
+
+    def n_subsets(self, cap: int | None = None) -> int:
+        cap = self.cap(cap)
+        return sum(len(self.levels[size]) for size in range(1, cap + 1))
+
+    def ancestor_at(self, subset: int, level: int) -> int:
+        """The subset's ancestor of size ``level`` on its parent chain."""
+        while popcount(subset) > level:
+            subset = self.parent[subset][0]
+        return subset
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+
+#: per-worker state, populated by the pool initializer (works under both
+#: fork and spawn start methods)
+_WORKER: dict = {}
+
+
+def _init_worker(db, max_rows: int) -> None:
+    from repro.cardinality.truth import TrueCardinalities
+
+    # workers serve exactly one query at a time (see _worker_state), so
+    # an LRU of 1 keeps a long sweep's workers from accumulating counts
+    # and singleton arrays of displaced queries
+    _WORKER["truth"] = TrueCardinalities(
+        db, max_rows=max_rows, max_cached_queries=1
+    )
+    _WORKER["states"] = {}
+
+
+def _worker_state(query_key: str, query_blob: bytes):
+    """The worker-local oracle state for the query a task names.
+
+    Keyed by the master's content digest of the pickled query, so two
+    distinct queries can never alias even if they share a name.  Workers
+    serve one query at a time; switching drops the previous state (and
+    its pin), keeping a long sweep's workers memory-bounded.
+    """
+    states = _WORKER["states"]
+    state = states.get(query_key)
+    if state is None:
+        query = pickle.loads(query_blob)
+        states.clear()
+        state = _WORKER["truth"]._state(query)
+        states[query_key] = state
+    return state
+
+
+def _run_chunk(payload):
+    """Materialise one chunk of boundary groups; return counts + exports.
+
+    ``payload`` is ``(query_key, query_blob, groups, exports)`` where
+    each group is ``(boundary, seed, targets)``: ``seed`` is the
+    boundary's compressed materialisation ``(n_rows, keys)`` or ``None``
+    (rebuild locally), ``targets`` the subsets to count in size order.
+    Composite materialisations are dropped before returning — tasks are
+    self-contained, only singleton results persist in the worker.
+    """
+    query_key, query_blob, groups, exports = payload
+    truth = _WORKER["truth"]
+    state = _worker_state(query_key, query_blob)
+    from repro.cardinality.truth import _KeyedResult
+
+    counts: dict[int, int] = {}
+    for boundary, seed, targets in groups:
+        if seed is not None and boundary not in state.results:
+            state.results[boundary] = _KeyedResult(seed[0], dict(seed[1]))
+            state.counts[boundary] = seed[0]
+        for subset in targets:
+            counts[subset] = truth._materialize(state, subset).n_rows
+    results = {}
+    for subset in exports:
+        result = state.results.get(subset)
+        if result is not None:
+            results[subset] = (result.n_rows, result.keys)
+    stale = [s for s in state.results if popcount(s) > 1]
+    for s in stale:
+        del state.results[s]
+    return counts, results
+
+
+# --------------------------------------------------------------------- #
+# master side
+# --------------------------------------------------------------------- #
+
+
+def _executor(truth, processes: int) -> ProcessPoolExecutor:
+    """The oracle's worker pool, (re)built only when the size changes.
+
+    The pool outlives a single ``compute_all`` so a sequential sweep with
+    ``oracle_processes > 1`` pays the fork-and-ship-database cost once
+    per database, not once per query.
+    """
+    if truth._pool is not None and truth._pool_processes != processes:
+        truth.close()
+    if truth._pool is None:
+        truth._pool = ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=multiprocessing.get_context(),
+            initializer=_init_worker,
+            initargs=(truth.db, truth.max_rows),
+        )
+        truth._pool_processes = processes
+    return truth._pool
+
+
+def _pending_rounds(plan: MaterialisationPlan, counts, cap: int):
+    """Split the plan's uncounted subsets into stride-sized rounds.
+
+    Each round is ``(entry_level, targets, exports)``: ``targets`` the
+    subsets to compute (ordered by size then bitmask), ``exports`` the
+    subsets on the round's exit level whose materialisations seed the
+    next round's groups.  Fully cached levels produce no round at all.
+    """
+    spans = []
+    size = 2
+    while size <= cap:
+        hi = min(size + LEVEL_STRIDE - 1, cap)
+        targets = [
+            subset
+            for level in range(size, hi + 1)
+            for subset in plan.levels[level]
+            if subset not in counts
+        ]
+        if targets:
+            spans.append((size - 1, hi, targets))
+        size = hi + 1
+    rounds = []
+    for index, (entry, exit_level, targets) in enumerate(spans):
+        exports: tuple[int, ...] = ()
+        if index + 1 < len(spans) and spans[index + 1][0] == exit_level:
+            exports = tuple(
+                sorted(
+                    {
+                        plan.ancestor_at(subset, exit_level)
+                        for subset in spans[index + 1][2]
+                    }
+                )
+            )
+        rounds.append((entry, targets, exports))
+    return rounds
+
+
+def _balanced_chunks(groups, weights, n_chunks: int):
+    """Greedy LPT: heaviest groups first into the least-loaded chunk."""
+    n_chunks = max(1, min(n_chunks, len(groups)))
+    order = sorted(range(len(groups)), key=lambda i: (-weights[i], i))
+    chunks: list[list] = [[] for _ in range(n_chunks)]
+    loads = [0] * n_chunks
+    for i in order:
+        target = min(range(n_chunks), key=lambda c: (loads[c], c))
+        chunks[target].append(groups[i])
+        loads[target] += weights[i]
+    return [chunk for chunk in chunks if chunk]
+
+
+def compute_plan_parallel(
+    truth, state, plan: MaterialisationPlan, cap: int, processes: int
+) -> None:
+    """Execute the plan's levels across the oracle's worker pool.
+
+    Merges exact counts for every connected subset up to ``cap`` into
+    ``state.counts``; materialisations stay in the workers (the master
+    keeps only its singletons), so the master's memory profile matches a
+    released sequential run.
+    """
+    # singletons are counted in the master: they are cheap, and later
+    # ad-hoc cardinality() calls expect the base row ids to be resident
+    for subset in plan.levels[1]:
+        truth._count(state, subset)
+    rounds = _pending_rounds(plan, state.counts, cap)
+    if not rounds:
+        return
+    query_blob = pickle.dumps(state.query, protocol=pickle.HIGHEST_PROTOCOL)
+    query_key = hashlib.sha256(query_blob).hexdigest()
+    pool = _executor(truth, processes)
+    seeds: dict[int, tuple[int, dict]] = {}
+    for entry_level, targets, exports in rounds:
+        grouped: dict[int, list[int]] = {}
+        for subset in targets:
+            grouped.setdefault(plan.ancestor_at(subset, entry_level), []).append(
+                subset
+            )
+        boundaries = sorted(grouped)
+        # estimated work per group: the boundary's row count (when known)
+        # times the number of joins hanging off it
+        weights = [
+            (state.counts.get(boundary, 0) + 1) * len(grouped[boundary])
+            for boundary in boundaries
+        ]
+        groups = [
+            (
+                boundary,
+                seeds.get(boundary) if entry_level > 1 else None,
+                tuple(grouped[boundary]),
+            )
+            for boundary in boundaries
+        ]
+        export_set = set(exports)
+        futures = []
+        for chunk in _balanced_chunks(
+            groups, weights, processes * CHUNKS_PER_WORKER
+        ):
+            chunk_exports = tuple(
+                subset
+                for _, _, targets_ in chunk
+                for subset in targets_
+                if subset in export_set
+            )
+            futures.append(
+                pool.submit(
+                    _run_chunk,
+                    (query_key, query_blob, chunk, chunk_exports),
+                )
+            )
+        seeds = {}
+        try:
+            for future in as_completed(futures):
+                counts, results = future.result()
+                state.counts.update(counts)
+                seeds.update(results)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise

@@ -198,6 +198,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         estimators=estimators,
         configs=configs,
         dataset=args.dataset,
+        oracle_processes=args.oracle_processes,
     )
     if args.no_result_cache:
         result_root = None
@@ -299,6 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--processes", type=int, default=1,
         help="worker processes (1 = sequential; results are identical)",
+    )
+    p_sweep.add_argument(
+        "--oracle-processes", type=int, default=1,
+        help=(
+            "worker processes inside the exact-cardinality oracle "
+            "(level-parallel materialisation; bit-identical to "
+            "sequential).  Applies to sequential sweeps and to a single "
+            "straggling unit; pooled unit workers stay sequential"
+        ),
     )
     p_sweep.add_argument(
         "--dataset", default="imdb",

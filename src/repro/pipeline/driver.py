@@ -88,7 +88,7 @@ def price_cells(
     # memory to two size-generations of compressed intermediates, whereas
     # letting DP pull counts on demand would cache every materialisation
     # of every size at once on a 13-relation query
-    ws.compute_truth()
+    ws.compute_truth(processes=spec.oracle_processes)
     tcard = ws.true_card
     all_mask = query.all_mask
     rows: list[SweepRow] = []
@@ -230,6 +230,7 @@ def run_sweep(
     writer = (
         CsvStreamWriter(stream_csv) if stream_csv is not None else None
     )
+    scheduler: SweepScheduler | None = None
     completed = 0
 
     def _report(query: str, priced: int, cached: int) -> None:
@@ -297,6 +298,15 @@ def run_sweep(
     finally:
         if writer is not None:
             writer.close()
+        if (
+            resources is None
+            and scheduler is not None
+            and scheduler.resources is not None
+        ):
+            # the sweep built its own resources: shut down any oracle
+            # worker pool rather than leave idle processes behind (a
+            # caller-provided resources object keeps its warm pool)
+            scheduler.resources.truth.close()
     return SweepResult(
         spec=spec,
         rows=all_rows,

@@ -78,6 +78,11 @@ class SweepSpec:
     estimators: tuple[str, ...] = tuple(ESTIMATOR_ORDER)
     configs: tuple[EnumeratorConfig, ...] = DEFAULT_CONFIGS
     dataset: str = "imdb"
+    #: worker processes for the exact-cardinality oracle itself (1 =
+    #: sequential).  Execution policy, not content: it is deliberately
+    #: excluded from every cell key and fingerprint because the oracle's
+    #: level-parallel mode is bit-identical to sequential.
+    oracle_processes: int = 1
 
 
 @dataclass(frozen=True)

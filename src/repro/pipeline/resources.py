@@ -125,21 +125,31 @@ class QueryWorkspace:
         payload = store.load(self.query.name)
         if payload is not None:
             self.resources.truth.preload(
-                self.query, payload.counts, payload.unfiltered
+                self.query,
+                payload.counts,
+                payload.unfiltered,
+                cover=payload.max_size,
             )
             self._stored_cover = payload.max_size
             self._stored_sizes = (len(payload.counts), len(payload.unfiltered))
 
-    def compute_truth(self, max_size: int | None = None) -> dict[int, int]:
+    def compute_truth(
+        self, max_size: int | None = None, processes: int = 1
+    ) -> dict[int, int]:
         """Exact counts for every connected subset up to ``max_size``.
 
         With a truth store attached, previously computed counts are
         preloaded from disk first (so a given database's truth oracle is
         materialised once per database ever, not once per process), and
-        newly widened coverage is written back.
+        newly widened coverage is written back.  ``processes > 1`` runs
+        the oracle's bottom-up materialisation level-parallel (see
+        :mod:`repro.cardinality.truth_plan`); counts and stored bytes
+        are bit-identical either way.
         """
         self._ensure_truth_state()
-        counts = self.resources.truth.compute_all(self.query, max_size=max_size)
+        counts = self.resources.truth.compute_all(
+            self.query, max_size=max_size, processes=processes
+        )
         full = self.graph.n
         if self._computed_cover is False or not _covers(
             self._computed_cover, max_size, full

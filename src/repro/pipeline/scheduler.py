@@ -18,12 +18,21 @@ largest-first runs all emit bit-identical row sequences.
 The pool plumbing ships ``(query name, cell index pairs)`` to workers;
 workers rebuild the world deterministically from the spec they received
 at initialisation, exactly like the original driver did.
+
+The truth oracle has a pool of its own (``SweepSpec.oracle_processes``,
+see :mod:`repro.cardinality.truth_plan`): the sequential path gives it
+to every unit, and when exactly one unit is pending — the classic
+"29a is the last straggler" resume — the scheduler skips the unit pool
+entirely and dedicates the machine to the oracle.  Pool workers always
+run their oracle sequentially (they are daemonic, and the unit pool
+already owns the machine); every mode produces bit-identical rows.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from collections.abc import Callable, Sequence
+from dataclasses import replace
 from pathlib import Path
 
 from repro.pipeline.grid import SweepRow, SweepSpec
@@ -71,6 +80,11 @@ _WORKER: dict = {}
 def _init_worker(spec: SweepSpec, truth_root: str | None) -> None:
     from repro.pipeline.driver import build_resources
 
+    # pool workers are daemonic and cannot fork oracle workers of their
+    # own; with several units in flight the unit pool already owns the
+    # machine, so each worker runs its oracle sequentially
+    if spec.oracle_processes > 1:
+        spec = replace(spec, oracle_processes=1)
     _WORKER["spec"] = spec
     _WORKER["resources"] = build_resources(spec, truth_root)
 
@@ -128,6 +142,11 @@ class SweepScheduler:
         if not ordered:
             return {}
         if self.processes <= 1:
+            return self._run_sequential(ordered, on_complete)
+        if len(ordered) == 1 and self.spec.oracle_processes > 1:
+            # a single straggling unit gains nothing from a one-slot unit
+            # pool; dedicate the machine to the oracle's level-parallel
+            # pool instead (the sequential path honours oracle_processes)
             return self._run_sequential(ordered, on_complete)
         return self._run_pooled(ordered, on_complete)
 

@@ -27,6 +27,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+#: re-export: the coverage rule is shared with the truth oracle's
+#: cache-completeness claims, see :mod:`repro.util.coverage`
+from repro.util.coverage import covers  # noqa: F401
+
 try:  # pragma: no cover - always available on the supported platforms
     import fcntl
 except ImportError:  # Windows: fall back to atomic-rename-only semantics
@@ -103,21 +107,6 @@ def db_key(
     )
 
 
-#: sentinel for "every connected subset" in coverage arithmetic
-_FULL = 10**9
-
-
-def covers(have: int | None, want: int | None, full: int | None = None) -> bool:
-    """Whether stored coverage ``have`` answers a request for ``want``.
-
-    ``None`` means "every connected subset".  ``full`` (the query's
-    relation count, when known) caps ``want``: counts stored up to size 7
-    fully cover a 5-relation query even though ``have < None``.
-    """
-    cap = _FULL if full is None else full
-    have_size = cap if have is None else have
-    want_size = cap if want is None else min(want, cap)
-    return have_size >= want_size
 
 
 @dataclass

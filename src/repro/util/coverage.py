@@ -1,0 +1,27 @@
+"""Subset-size coverage arithmetic, shared by oracle and disk stores.
+
+Both the in-memory truth oracle (cache-completeness claims on
+``compute_all``) and the persistent :class:`~repro.pipeline.truthstore.
+TruthStore` (the ``max_size`` stamp on stored counts) need the same
+question answered: does a coverage claim up to one subset size satisfy a
+request for another?  Keeping the rule in one place means the oracle and
+the store can never disagree about what a stored ``max_size`` covers.
+"""
+
+from __future__ import annotations
+
+#: sentinel for "every connected subset" in coverage arithmetic
+_FULL = 10**9
+
+
+def covers(have: int | None, want: int | None, full: int | None = None) -> bool:
+    """Whether stored coverage ``have`` answers a request for ``want``.
+
+    ``None`` means "every connected subset".  ``full`` (the query's
+    relation count, when known) caps ``want``: counts stored up to size 7
+    fully cover a 5-relation query even though ``have < None``.
+    """
+    cap = _FULL if full is None else full
+    have_size = cap if have is None else have
+    want_size = cap if want is None else min(want, cap)
+    return have_size >= want_size

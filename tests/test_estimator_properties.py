@@ -1,0 +1,82 @@
+"""Property-style checks for every estimator in the registry.
+
+Until now only the sweep exercised the estimator line-up end-to-end; a
+broken estimator surfaced as a weird sweep row, not a failing unit test.
+These tests pin down the per-estimator contract directly, for every
+estimator :func:`~repro.pipeline.resources.standard_estimators` registers:
+
+* every estimate — filtered or unfiltered, over every connected subset —
+  is finite and at least one row (the paper's footnote-6 convention);
+* base-relation estimates are *monotone under scale growth*: the same
+  seeded generator at a larger scale never yields a smaller estimate for
+  a base relation (join estimates may legitimately cross, as selectivity
+  models sharpen with more data, so the monotonicity contract is scoped
+  to base relations).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datagen import generate_imdb
+from repro.pipeline.resources import ESTIMATOR_ORDER, standard_estimators
+from repro.query.join_graph import JoinGraph
+from repro.query.subgraphs import connected_subsets
+from repro.workloads import job_query
+
+QUERY_NAMES = ("1a", "4a", "6a", "13d")
+
+
+@pytest.fixture(scope="module")
+def scale_dbs():
+    return {
+        scale: generate_imdb(scale, seed=42) for scale in ("tiny", "small")
+    }
+
+
+def test_registry_matches_estimator_order(scale_dbs):
+    registry = standard_estimators(scale_dbs["tiny"])
+    assert list(registry) == list(ESTIMATOR_ORDER)
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_ORDER)
+def test_estimates_finite_and_positive_on_every_subset(scale_dbs, name):
+    estimator = standard_estimators(scale_dbs["tiny"])[name]
+    for query_name in QUERY_NAMES:
+        query = job_query(query_name)
+        card = estimator.bind(query)
+        for subset in connected_subsets(JoinGraph(query)):
+            value = card(subset)
+            assert math.isfinite(value), (name, query_name, subset)
+            assert value >= 1.0, (name, query_name, subset)
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_ORDER)
+def test_unfiltered_base_estimates_valid(scale_dbs, name):
+    """Unfiltered base estimates are finite and never below the filtered
+    estimate's floor (dropping a selection cannot shrink a base table)."""
+    estimator = standard_estimators(scale_dbs["tiny"])[name]
+    for query_name in QUERY_NAMES:
+        query = job_query(query_name)
+        card = estimator.bind(query)
+        for relation in query.relations:
+            bit = query.alias_bit(relation.alias)
+            unfiltered = card.unfiltered(bit, relation.alias)
+            assert math.isfinite(unfiltered)
+            assert unfiltered >= 1.0
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_ORDER)
+def test_base_estimates_monotone_under_scale_growth(scale_dbs, name):
+    small = standard_estimators(scale_dbs["small"])[name]
+    tiny = standard_estimators(scale_dbs["tiny"])[name]
+    for query_name in QUERY_NAMES:
+        query = job_query(query_name)
+        card_small = small.bind(query)
+        card_tiny = tiny.bind(query)
+        for relation in query.relations:
+            bit = query.alias_bit(relation.alias)
+            assert card_small(bit) >= card_tiny(bit), (name, query_name,
+                                                       relation.alias)

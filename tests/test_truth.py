@@ -142,3 +142,62 @@ class TestTruthVsBruteForce:
         first = card(F | A | B)
         truth.release(q)
         assert card(F | A | B) == first
+
+
+class TestComputeAllCacheCompleteness:
+    """A truncated ``compute_all`` must never satisfy a wider request."""
+
+    def test_capped_then_full_does_not_serve_truncated_cache(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        capped = truth.compute_all(q, max_size=1)
+        assert set(capped) == {F, A, B}
+        full = truth.compute_all(q)
+        # the truncated level set from the first call must not be
+        # mistaken for a finished enumeration
+        assert set(full) == {F, A, B, F | A, F | B, F | A | B}
+        assert full[F | A | B] == 8
+
+    def test_full_then_capped_is_served_from_cache(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        full = truth.compute_all(q)
+        state = truth._state(q)
+        assert state.covered(None) and state.covered(2)
+        # a later *narrower* request returns without recomputing
+        capped = truth.compute_all(q, max_size=2)
+        assert capped == full
+
+    def test_cover_request_beyond_relation_count_is_full(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        truth.compute_all(q, max_size=7)  # 7 > 3 relations == full
+        assert truth._state(q).covered(None)
+
+    def test_preload_without_cover_claims_nothing(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        source = TrueCardinalities(toy_db).compute_all(q)
+        truth.preload(q, source)
+        assert not truth._state(q).covered(1)
+        assert truth.compute_all(q) == source
+
+    def test_preload_with_truncated_cover_recomputes_the_rest(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        source = TrueCardinalities(toy_db).compute_all(q)
+        truncated = {s: n for s, n in source.items() if s in (F, A, B)}
+        truth.preload(q, truncated, cover=1)
+        state = truth._state(q)
+        assert state.covered(1) and not state.covered(None)
+        assert truth.compute_all(q) == source
+
+    def test_preload_with_full_cover_serves_from_cache(self, toy_db):
+        truth = TrueCardinalities(toy_db)
+        q = _toy_query()
+        source = TrueCardinalities(toy_db).compute_all(q)
+        # deliberately perturbed counts prove the cache (not a recompute)
+        # answers a covered request — preloads are trusted ground truth
+        marked = {s: n + 1 for s, n in source.items()}
+        truth.preload(q, marked, cover=None)
+        assert truth.compute_all(q) == marked
