@@ -1,0 +1,73 @@
+"""Report replay vs recompute: the warm path must be a pure read.
+
+A warm ``repro report`` replays every cell from the result store's
+indexed files — no database generation, no truth oracle, no DP.  On the
+smoke grid the replay must come in at least 5x faster than the
+recompute path (in practice it is orders of magnitude faster; the 5x
+bar just guards against the replay path quietly regrowing expensive
+work).
+
+Run with ``pytest benchmarks/test_bench_report_replay.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import frame as frame_mod
+from repro.pipeline import SweepSpec
+from repro.pipeline import instrument
+
+from conftest import run_once
+
+#: the smoke grid: CI-sized but with every estimator and both designs
+BASE = SweepSpec(scale="tiny", seed=42, query_names=("1a", "4a", "6a"))
+
+REPORTS = ("fig6", "table1", "table3")
+
+
+class TestReportReplay:
+    def test_bench_warm_replay_vs_recompute(self, tmp_path, benchmark):
+        root = tmp_path / "store"
+
+        def recompute_all():
+            # cold: prices every cell (and warms the store as it goes)
+            return [
+                frame_mod.run_report(
+                    name, BASE, result_root=root, truth_root=root
+                )
+                for name in REPORTS
+            ]
+
+        started = time.perf_counter()
+        cold_runs = recompute_all()
+        cold_seconds = time.perf_counter() - started
+        assert sum(r.priced_cells for r in cold_runs) > 0
+
+        def replay_all():
+            return [
+                frame_mod.run_report(
+                    name, BASE, result_root=root, truth_root=root
+                )
+                for name in REPORTS
+            ]
+
+        before = instrument.snapshot()
+        started = time.perf_counter()
+        warm_runs = run_once(benchmark, replay_all)
+        warm_seconds = time.perf_counter() - started
+        delta = instrument.snapshot() - before
+
+        assert all(r.priced_cells == 0 for r in warm_runs)
+        assert delta.db_generations == 0 and delta.cells_priced == 0
+        for cold, warm in zip(cold_runs, warm_runs):
+            assert warm.text == cold.text
+        print(
+            f"\nrecompute: {cold_seconds:.2f}s   "
+            f"replay: {warm_seconds:.2f}s   "
+            f"speedup: {cold_seconds / max(warm_seconds, 1e-9):.1f}x"
+        )
+        assert cold_seconds >= 5.0 * warm_seconds, (
+            f"warm replay must be >=5x faster than recompute "
+            f"(got {cold_seconds:.2f}s vs {warm_seconds:.2f}s)"
+        )

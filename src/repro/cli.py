@@ -9,6 +9,9 @@ Examples::
     python -m repro run fig6 --queries 1a,6a,13d --scale tiny
     python -m repro sweep --scale tiny --queries 1a,4a,6a --processes 4 \
         --truth-cache .truth-cache --csv sweep.csv
+    python -m repro report fig6 --scale tiny --queries 1a,4a \
+        --result-cache .truth-cache
+    python -m repro report summary --scale tiny --result-cache .truth-cache
 """
 
 from __future__ import annotations
@@ -208,6 +211,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.progress:
         def progress(report):
             print(report.render(), file=sys.stderr, flush=True)
+    aggregator = None
+    if args.summary:
+        from repro.pipeline.aggregate import StreamingAggregator
+
+        aggregator = StreamingAggregator()
+        inner = progress
+
+        def progress(report, _inner=inner, _agg=aggregator):
+            _agg.on_report(report)
+            if _inner is not None:
+                _inner(report)
+
     result = run_sweep(
         spec,
         processes=args.processes,
@@ -217,6 +232,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=progress,
         stream_csv=args.csv,
     )
+    if aggregator is not None:
+        print(aggregator.summary().render())
+        print()
     print(result.render())
     total = result.priced_cells + result.cached_cells
     print(
@@ -225,6 +243,101 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.csv:
         print(f"wrote {len(result.rows)} rows to {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import frame as frame_mod
+    from repro.pipeline import check_dataset
+    from repro.pipeline.grid import SweepSpec
+    from repro.pipeline import instrument
+
+    try:
+        check_dataset(args.dataset)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.artifact == "summary":
+        return _report_summary(args)
+    known = frame_mod.available_reports()
+    names = known if args.artifact == "all" else [args.artifact]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(
+            f"unknown report(s) {', '.join(unknown)}; choose from: "
+            f"{', '.join(known)}, summary, or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+
+    base = SweepSpec(
+        scale=args.scale,
+        seed=args.seed,
+        query_names=(
+            tuple(args.queries.split(",")) if args.queries else None
+        ),
+        dataset=args.dataset,
+        oracle_processes=args.oracle_processes,
+    )
+    truth_root = args.truth_cache or args.result_cache
+    progress = None
+    if args.progress:
+        def progress(report):
+            print(report.render(), file=sys.stderr, flush=True)
+
+    before = instrument.snapshot()
+    replayed = priced = 0
+    for name in names:
+        run = frame_mod.run_report(
+            name,
+            base,
+            result_root=args.result_cache,
+            truth_root=truth_root,
+            processes=args.processes,
+            progress=progress,
+        )
+        print(run.text)
+        print()
+        replayed += run.replayed_cells
+        priced += run.priced_cells
+    delta = instrument.snapshot() - before
+    generated = str(delta.db_generations)
+    if priced and args.processes > 1:
+        # the counters are per-process: pool workers rebuild their own
+        # database, which the master's counter cannot see
+        generated += " in-master (pool workers generate their own)"
+    print(
+        f"replayed {replayed} cells, priced {priced}; "
+        f"databases generated: {generated}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _report_summary(args: argparse.Namespace) -> int:
+    """Aggregate whatever the result store holds — a pure batch fold."""
+    from repro.pipeline import ResultStore
+    from repro.pipeline.aggregate import aggregate_store
+
+    if not args.result_cache:
+        print(
+            "report summary needs --result-cache (it folds the store)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ResultStore(
+        args.result_cache,
+        args.scale,
+        args.seed,
+        dataset=args.dataset,
+    )
+    summary = aggregate_store(store)
+    print(summary.render())
+    if summary.n_rows == 0:
+        print(
+            f"(store at {store.directory} holds no rows)", file=sys.stderr
+        )
     return 0
 
 
@@ -347,7 +460,72 @@ def build_parser() -> argparse.ArgumentParser:
             "canonically ordered once it finishes"
         ),
     )
+    p_sweep.add_argument(
+        "--summary", action="store_true",
+        help=(
+            "print a workload-level aggregate (q-error quantiles, "
+            "slowdown buckets, throughput) folded incrementally while "
+            "the sweep runs"
+        ),
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report",
+        help=(
+            "render a figure/table from the result store; a warm store "
+            "replays with zero database generation, a cold one prices "
+            "only the missing cells"
+        ),
+    )
+    p_report.add_argument(
+        "artifact",
+        help=(
+            "fig3..fig9, table1..table3, ablation, "
+            "summary (aggregate the whole store), or 'all'"
+        ),
+    )
+    p_report.add_argument("--scale", default="tiny",
+                          choices=["tiny", "small", "medium"])
+    p_report.add_argument("--seed", type=int, default=42)
+    p_report.add_argument(
+        "--queries", default=None,
+        help=(
+            "comma-separated query names restricting the report's grid "
+            "(default: the artifact's paper query set)"
+        ),
+    )
+    p_report.add_argument(
+        "--dataset", default="imdb",
+        help="workload dataset: imdb (JOB) or tpch",
+    )
+    p_report.add_argument(
+        "--result-cache", default=None, metavar="DIR",
+        help=(
+            "directory of the persistent priced-row store to replay "
+            "from (omit to recompute everything)"
+        ),
+    )
+    p_report.add_argument(
+        "--truth-cache", default=None, metavar="DIR",
+        help=(
+            "directory for the exact-cardinality store "
+            "(default: the --result-cache directory)"
+        ),
+    )
+    p_report.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes for pricing any missing cells",
+    )
+    p_report.add_argument(
+        "--oracle-processes", type=int, default=1,
+        help="worker processes inside the exact-cardinality oracle",
+    )
+    p_report.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line to stderr as cells are priced/replayed",
+    )
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 

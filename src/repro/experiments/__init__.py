@@ -16,6 +16,14 @@ Module       Reproduces
 ``table3``   Table 3 — DP vs Quickpick-1000 vs GOO
 ``ablation`` beyond-paper sensitivity studies
 ===========  ==========================================================
+
+Every module has two entry points: the paper-faithful deep path
+(``run(suite)``, subexpression-level measurements and simulated
+execution against an :class:`ExperimentSuite`) and a **replay path**
+(``report_specs`` + ``from_frames``) that folds the same finding from
+sweep rows — rendered by ``repro report`` straight from a warm
+:class:`~repro.pipeline.results.ResultStore` with zero database
+generation (see :mod:`repro.experiments.frame`).
 """
 
 from repro.experiments.harness import ExperimentSuite

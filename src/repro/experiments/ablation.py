@@ -377,3 +377,79 @@ def error_scaling(
         frac_slow[factor] = float(np.mean(np.asarray(slowdowns) >= 2.0))
         all_slowdowns[factor] = slowdowns
     return ErrorScalingResult(frac_slow=frac_slow, slowdowns=all_slowdowns)
+
+
+# --------------------------------------------------------------------- #
+# replay path: estimate error vs plan-cost slowdown from sweep rows
+# --------------------------------------------------------------------- #
+
+#: q-error buckets the replayed ablation groups rows by
+QERROR_BUCKETS: tuple[tuple[float, float, str], ...] = (
+    (1.0, 2.0, "[1,2)"),
+    (2.0, 10.0, "[2,10)"),
+    (10.0, 100.0, "[10,100)"),
+    (100.0, float("inf"), ">=100"),
+)
+
+
+def report_specs(base):
+    from dataclasses import replace
+
+    from repro.pipeline.grid import DEFAULT_CONFIGS
+    from repro.pipeline.resources import ESTIMATOR_ORDER
+
+    return (
+        replace(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=DEFAULT_CONFIGS,
+        ),
+    )
+
+
+@dataclass
+class ErrorCouplingResult:
+    """Observed coupling between estimate error and plan-quality loss.
+
+    The synthetic :func:`error_scaling` injects controlled errors; the
+    replayed version reads the same dose-response curve from real sweep
+    rows — cells whose estimate was further from the truth should pick
+    worse plans.
+    """
+
+    #: stats[bucket_label] = (n, median slowdown, p95 slowdown, frac >= 2x)
+    stats: dict[str, tuple[int, float, float, float]]
+
+    def render(self) -> str:
+        rows = [
+            [label, n, med, p95, f"{frac:.1%}"]
+            for label, (n, med, p95, frac) in self.stats.items()
+        ]
+        return format_table(
+            ["q-error bucket", "n cells", "median slowdown", "p95 slowdown",
+             "frac >= 2x"],
+            rows,
+            title=(
+                "Ablation (sweep replay): estimate error vs plan-cost "
+                "slowdown"
+            ),
+        )
+
+
+def from_frames(frames) -> ErrorCouplingResult:
+    frame = frames[0]
+    stats: dict[str, tuple[int, float, float, float]] = {}
+    for lo, hi, label in QERROR_BUCKETS:
+        slowdowns = np.asarray(
+            [r.slowdown for r in frame.rows if lo <= r.q_error < hi]
+        )
+        if len(slowdowns) == 0:
+            stats[label] = (0, float("nan"), float("nan"), 0.0)
+            continue
+        stats[label] = (
+            int(len(slowdowns)),
+            float(np.median(slowdowns)),
+            float(np.percentile(slowdowns, 95)),
+            float(np.mean(slowdowns >= 2.0)),
+        )
+    return ErrorCouplingResult(stats=stats)

@@ -14,7 +14,7 @@ degrades worst; the DBMS A analogue keeps medians closest to 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -98,3 +98,81 @@ def run(suite: ExperimentSuite, max_subexpr_size: int = 7) -> Fig3Result:
         percentiles=percentiles,
         wrong_10x=wrong_10x,
     )
+
+
+# --------------------------------------------------------------------- #
+# replay path: the sweep-row-shaped Figure 3
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    """One PK+FK frame, all five estimators, full workload by default."""
+    from repro.pipeline.grid import EnumeratorConfig
+    from repro.physical import IndexConfig
+
+    return (
+        replace(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=(
+                EnumeratorConfig("pk+fk", indexes=IndexConfig.PK_FK),
+            ),
+        ),
+    )
+
+
+@dataclass
+class Fig3ReplayResult:
+    """Full-query q-errors grouped by each query's join count.
+
+    The deep path (:func:`run`) measures every *subexpression*; the
+    replay path reads the same growth-with-join-count story off the
+    sweep grid, where each query contributes its full-query q-error at
+    its own join count.
+    """
+
+    #: q_errors[estimator][n_joins] = q-errors of the queries that size
+    q_errors: dict[str, dict[int, list[float]]] = field(repr=False)
+
+    def percentile(self, estimator: str, joins: int, pct: float) -> float:
+        values = np.asarray(self.q_errors[estimator][joins])
+        return float(np.percentile(values, pct))
+
+    def render(self) -> str:
+        blocks = []
+        for name in sorted(self.q_errors):
+            rows = []
+            for joins in sorted(self.q_errors[name]):
+                values = np.asarray(self.q_errors[name][joins])
+                rows.append([
+                    joins,
+                    len(values),
+                    float(np.median(values)),
+                    float(np.percentile(values, 95)),
+                    float(values.max()),
+                    float(np.mean(values >= 10)),
+                ])
+            blocks.append(
+                format_table(
+                    ["#joins", "n", "median", "p95", "max", "frac >=10x"],
+                    rows,
+                    title=(
+                        f"Figure 3 (sweep replay, {name}): full-query "
+                        "q-error by join count"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def from_frames(frames) -> Fig3ReplayResult:
+    frame = frames[0]
+    config = frame.config_names[0]
+    q_errors: dict[str, dict[int, list[float]]] = {
+        name: {} for name in frame.estimator_names
+    }
+    for row in frame.select(config=config):
+        q_errors[row.estimator].setdefault(
+            frame.joins(row.query), []
+        ).append(row.q_error)
+    return Fig3ReplayResult(q_errors=q_errors)

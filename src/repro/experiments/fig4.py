@@ -112,3 +112,89 @@ def _query_ratios(query, card, true_card, max_size) -> dict[int, list[float]]:
         ratio = signed_ratio(card(subset), true_card(subset))
         out.setdefault(joins, []).append(ratio)
     return out
+
+
+# --------------------------------------------------------------------- #
+# replay path: JOB vs TPC-H from sweep rows
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    """Two frames: a JOB slice and the TPC-H join workload.
+
+    The JOB side follows the base spec's query restriction when one is
+    given (so smoke grids stay small) and defaults to the paper's four
+    Figure 4 queries; the TPC-H side always covers its three join
+    queries.  Correlation only shapes the IMDB generator — the TPC-H
+    frame's uniformity is the figure's point.
+    """
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+    from repro.physical import IndexConfig
+
+    config = (EnumeratorConfig("pk+fk", indexes=IndexConfig.PK_FK),)
+    job = replace(
+        base,
+        dataset="imdb",
+        query_names=(
+            base.query_names if base.query_names is not None
+            else tuple(JOB_FIG4)
+        ),
+        estimators=("PostgreSQL",),
+        configs=config,
+    )
+    tpch = replace(
+        base,
+        dataset="tpch",
+        query_names=None,
+        estimators=("PostgreSQL",),
+        configs=config,
+    )
+    return (job, tpch)
+
+
+@dataclass
+class Fig4ReplayResult:
+    """Full-query q-errors per workload: JOB blows up, TPC-H stays tight."""
+
+    #: q_errors[workload][query] = full-query q-error
+    q_errors: dict[str, dict[str, float]] = field(repr=False)
+
+    def spread(self, workload: str) -> float:
+        """Largest log10 q-error across the workload's queries."""
+        return max(
+            abs(float(np.log10(v)))
+            for v in self.q_errors[workload].values()
+        )
+
+    def render(self) -> str:
+        rows = []
+        for workload in sorted(self.q_errors):
+            by_query = self.q_errors[workload]
+            values = np.asarray(list(by_query.values()))
+            rows.append([
+                workload,
+                len(values),
+                float(np.median(values)),
+                float(values.max()),
+                self.spread(workload),
+            ])
+        return format_table(
+            ["workload", "n queries", "median q-err", "max q-err",
+             "max |log10 err|"],
+            rows,
+            title=(
+                "Figure 4 (sweep replay): PostgreSQL-style full-query "
+                "q-errors, JOB vs TPC-H"
+            ),
+        )
+
+
+def from_frames(frames) -> Fig4ReplayResult:
+    job_frame, tpch_frame = frames
+    q_errors: dict[str, dict[str, float]] = {"JOB": {}, "TPC-H": {}}
+    for workload, frame in (("JOB", job_frame), ("TPC-H", tpch_frame)):
+        for row in frame.select(estimator="PostgreSQL"):
+            q_errors[workload][row.query] = row.q_error
+    return Fig4ReplayResult(q_errors=q_errors)

@@ -91,3 +91,77 @@ def run(suite: ExperimentSuite, max_subexpr_size: int = 7) -> Fig5Result:
         for variant, by_joins in ratios.items()
     }
     return Fig5Result(ratios=ratios, percentiles=percentiles)
+
+
+# --------------------------------------------------------------------- #
+# replay path: default vs true distinct counts from sweep rows
+# --------------------------------------------------------------------- #
+
+#: the two estimator variants the replay compares (the second is an
+#: extended-registry variant, see repro.pipeline.resources)
+FIG5_VARIANTS = ("PostgreSQL", "PostgreSQL (true distincts)")
+
+
+def report_specs(base):
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+    from repro.physical import IndexConfig
+
+    return (
+        replace(
+            base,
+            estimators=FIG5_VARIANTS,
+            configs=(
+                EnumeratorConfig("pk+fk", indexes=IndexConfig.PK_FK),
+            ),
+        ),
+    )
+
+
+@dataclass
+class Fig5ReplayResult:
+    """Per-variant full-query q-errors grouped by join count."""
+
+    #: q_errors[variant][n_joins] = q-errors of the queries that size
+    q_errors: dict[str, dict[int, list[float]]] = field(repr=False)
+
+    def median_at(self, variant: str, joins: int) -> float:
+        return float(np.median(np.asarray(self.q_errors[variant][joins])))
+
+    def render(self) -> str:
+        blocks = []
+        for variant in FIG5_VARIANTS:
+            by_joins = self.q_errors[variant]
+            rows = [
+                [
+                    joins,
+                    len(by_joins[joins]),
+                    float(np.median(np.asarray(by_joins[joins]))),
+                    float(np.percentile(np.asarray(by_joins[joins]), 95)),
+                ]
+                for joins in sorted(by_joins)
+            ]
+            blocks.append(
+                format_table(
+                    ["#joins", "n", "median q-err", "p95 q-err"],
+                    rows,
+                    title=(
+                        f"Figure 5 (sweep replay, {variant}): full-query "
+                        "q-error by join count"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def from_frames(frames) -> Fig5ReplayResult:
+    frame = frames[0]
+    q_errors: dict[str, dict[int, list[float]]] = {
+        variant: {} for variant in FIG5_VARIANTS
+    }
+    for row in frame.rows:
+        q_errors[row.estimator].setdefault(
+            frame.joins(row.query), []
+        ).append(row.q_error)
+    return Fig5ReplayResult(q_errors=q_errors)

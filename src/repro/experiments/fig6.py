@@ -124,3 +124,48 @@ def run_engine_ablation(
             "engine risk ablation"
         ),
     )
+
+
+# --------------------------------------------------------------------- #
+# replay path: the Section 4.1 table from sweep rows
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    """One PK-only frame, all five estimators."""
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+
+    return (
+        replace(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=(EnumeratorConfig("pk", indexes=IndexConfig.PK),),
+        ),
+    )
+
+
+def from_frames(frames) -> Fig6Result:
+    """Per-estimator plan-cost slowdown buckets, straight off the grid.
+
+    The deep path (:func:`run_injection`) simulates execution with
+    engine-risk scenarios; the replay path buckets the sweep's
+    standalone-optimizer slowdowns (``true_cost / optimal_cost``) — the
+    same injected-estimate mechanism, measured in cost space.
+    """
+    frame = frames[0]
+    config = frame.config_names[0]
+    distributions: dict[str, SlowdownDistribution] = {}
+    for name in frame.estimator_names:
+        slowdowns = [
+            row.slowdown for row in frame.select(estimator=name, config=config)
+        ]
+        distributions[name] = SlowdownDistribution(name, slowdowns)
+    return Fig6Result(
+        distributions=distributions,
+        title=(
+            f"Section 4.1 (sweep replay): plan-cost slowdown vs "
+            f"true-cardinality plan ({config})"
+        ),
+    )

@@ -67,3 +67,61 @@ def run(
         runtimes.sort()
         median_runtime[config] = runtimes[len(runtimes) // 2]
     return Fig7Result(by_config=by_config, median_runtime_ms=median_runtime)
+
+
+# --------------------------------------------------------------------- #
+# replay path: PK vs PK+FK slowdowns from sweep rows
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    from dataclasses import replace
+
+    from repro.pipeline.grid import DEFAULT_CONFIGS
+
+    return (
+        replace(
+            base,
+            estimators=("PostgreSQL",),
+            configs=DEFAULT_CONFIGS,
+        ),
+    )
+
+
+@dataclass
+class Fig7ReplayResult:
+    """Per-config slowdown distributions plus their medians."""
+
+    by_config: dict[str, SlowdownDistribution]
+    median_slowdown: dict[str, float]
+
+    def render(self) -> str:
+        inner = Fig6Result(
+            distributions=dict(self.by_config),
+            title=(
+                "Figure 7 (sweep replay): plan-cost slowdown by "
+                "physical design (PostgreSQL estimates)"
+            ),
+        )
+        extra = "\n".join(
+            f"median plan-cost slowdown [{name}]: {median:.3f}"
+            for name, median in self.median_slowdown.items()
+        )
+        return inner.render() + "\n" + extra
+
+
+def from_frames(frames) -> Fig7ReplayResult:
+    frame = frames[0]
+    by_config: dict[str, SlowdownDistribution] = {}
+    median_slowdown: dict[str, float] = {}
+    for config in frame.config_names:
+        slowdowns = [
+            row.slowdown
+            for row in frame.select(estimator="PostgreSQL", config=config)
+        ]
+        by_config[config] = SlowdownDistribution(config, slowdowns)
+        ordered = sorted(slowdowns)
+        median_slowdown[config] = ordered[len(ordered) // 2]
+    return Fig7ReplayResult(
+        by_config=by_config, median_slowdown=median_slowdown
+    )

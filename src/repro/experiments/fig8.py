@@ -145,3 +145,104 @@ def run(
         for name, values in runtime_by_model.items()
     }
     return Fig8Result(panels=panels, runtime_vs_standard=runtime_vs_standard)
+
+
+# --------------------------------------------------------------------- #
+# replay path: cost model comparison from sweep rows
+# --------------------------------------------------------------------- #
+
+#: replay config name -> SweepSpec cost-model knob
+REPLAY_COST_MODELS = (
+    ("standard", "standard"),
+    ("tuned", "tuned"),
+    ("cmm", "simple"),
+)
+
+
+def report_specs(base):
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+    from repro.physical import IndexConfig
+
+    return (
+        replace(
+            base,
+            estimators=("PostgreSQL",),
+            configs=tuple(
+                EnumeratorConfig(
+                    name, indexes=IndexConfig.PK_FK, cost_model=model
+                )
+                for name, model in REPLAY_COST_MODELS
+            ),
+        ),
+    )
+
+
+@dataclass
+class Fig8ReplayResult:
+    """Predicted (estimate-based) vs true plan cost, per cost model.
+
+    The deep path fits cost against simulated runtime; the replay path
+    fits the optimizer's *believed* cost (``est_cost``) against the
+    plan's true-cardinality cost — the same does-the-model-rank-plans
+    question, answerable from the grid alone.
+    """
+
+    panels: dict[str, Panel]
+    #: geo-mean true cost of each model's chosen plans vs 'standard'
+    true_cost_vs_standard: dict[str, float]
+
+    def render(self) -> str:
+        rows = [
+            [
+                name,
+                len(panel.costs),
+                panel.correlation,
+                (
+                    f"{panel.median_error:.0%}"
+                    if panel.median_error == panel.median_error
+                    else "-"
+                ),
+            ]
+            for name, panel in self.panels.items()
+        ]
+        table = format_table(
+            ["cost model", "n", "log-log corr", "median pred. error"],
+            rows,
+            title=(
+                "Figure 8 (sweep replay): believed cost vs true plan cost "
+                "(PostgreSQL estimates)"
+            ),
+        )
+        extra = "\n".join(
+            f"geo-mean true plan cost vs standard model ({name}): "
+            f"{ratio:.2f}x"
+            for name, ratio in self.true_cost_vs_standard.items()
+        )
+        return table + "\n" + extra
+
+
+def from_frames(frames) -> Fig8ReplayResult:
+    frame = frames[0]
+    panels: dict[str, Panel] = {}
+    true_costs: dict[str, list[float]] = {}
+    for config in frame.config_names:
+        rows = frame.select(estimator="PostgreSQL", config=config)
+        panel = Panel(cost_model=config, card_source="PostgreSQL")
+        panel.costs = [r.est_cost for r in rows]
+        panel.runtimes_ms = [r.true_cost for r in rows]
+        if len(rows) >= 3:
+            panel.fit()
+        # under 3 points the fit stays NaN (rendered as "-"): a 2-query
+        # smoke grid should degrade, not crash
+        panels[config] = panel
+        true_costs[config] = [max(r.true_cost, 1e-9) for r in rows]
+    base = true_costs["standard"]
+    true_cost_vs_standard = {
+        name: geometric_mean([v / b for v, b in zip(values, base)])
+        for name, values in true_costs.items()
+    }
+    return Fig8ReplayResult(
+        panels=panels, true_cost_vs_standard=true_cost_vs_standard
+    )

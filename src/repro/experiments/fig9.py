@@ -125,3 +125,94 @@ def run(
         },
         avg_width={c: float(np.mean(v)) for c, v in widths.items()},
     )
+
+
+# --------------------------------------------------------------------- #
+# replay path: plan spread across designs from sweep rows
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    """Three frames' worth of configs (no/PK/PK+FK), all estimators.
+
+    Follows the base query restriction when one is given, defaulting to
+    the paper's five Figure 9 queries.
+    """
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+    from repro.pipeline.resources import ESTIMATOR_ORDER
+
+    return (
+        replace(
+            base,
+            query_names=(
+                base.query_names if base.query_names is not None
+                else tuple(FIG9_QUERIES)
+            ),
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=(
+                EnumeratorConfig("none", indexes=IndexConfig.NONE),
+                EnumeratorConfig("pk", indexes=IndexConfig.PK),
+                EnumeratorConfig("pk+fk", indexes=IndexConfig.PK_FK),
+            ),
+        ),
+    )
+
+
+@dataclass
+class Fig9ReplayResult:
+    """Estimator-induced plan spread per physical design.
+
+    The deep path samples Quickpick's random plan space; the replay path
+    reads the same richer-designs-are-riskier signal from the grid: the
+    plans the five estimators pick *are* samples of the plan space, and
+    their true-cost spread per query widens with the index budget.
+    """
+
+    #: fraction of (query, estimator) plans within 1.5x of the optimum
+    fraction_within_1_5: dict[str, float]
+    #: average per-query worst/best true-cost ratio across estimators
+    avg_width: dict[str, float]
+    n_plans: dict[str, int]
+
+    def render(self) -> str:
+        rows = [
+            [
+                config,
+                self.n_plans[config],
+                f"{self.fraction_within_1_5[config]:.1%}",
+                self.avg_width[config],
+            ]
+            for config in self.fraction_within_1_5
+        ]
+        return format_table(
+            ["design", "n plans", "within 1.5x of optimum",
+             "avg worst/best width"],
+            rows,
+            title=(
+                "Figure 9 (sweep replay): estimator-chosen plan spread "
+                "by physical design"
+            ),
+        )
+
+
+def from_frames(frames) -> Fig9ReplayResult:
+    frame = frames[0]
+    within: dict[str, float] = {}
+    widths: dict[str, float] = {}
+    n_plans: dict[str, int] = {}
+    for config in frame.config_names:
+        rows = frame.select(config=config)
+        within[config] = float(
+            np.mean([r.true_cost <= 1.5 * r.optimal_cost for r in rows])
+        )
+        per_query = []
+        for query in frame.query_names:
+            costs = [r.true_cost for r in rows if r.query == query]
+            per_query.append(max(costs) / max(min(costs), 1e-9))
+        widths[config] = float(np.mean(per_query))
+        n_plans[config] = len(rows)
+    return Fig9ReplayResult(
+        fraction_within_1_5=within, avg_width=widths, n_plans=n_plans
+    )

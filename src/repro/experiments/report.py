@@ -4,6 +4,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+#: re-export: the bucket definitions live with the layer-neutral stats
+#: helpers so the pipeline's aggregator can share them without pulling
+#: the experiments package in
+from repro.util.stats import (  # noqa: F401
+    SLOWDOWN_BUCKETS,
+    bucketize_slowdowns,
+)
+
 
 def format_table(
     headers: Sequence[str],
@@ -55,25 +63,3 @@ def format_histogram(
     return "\n".join(lines)
 
 
-SLOWDOWN_BUCKETS: list[tuple[float, float, str]] = [
-    (0.0, 0.9, "<0.9"),
-    (0.9, 1.1, "[0.9,1.1)"),
-    (1.1, 2.0, "[1.1,2)"),
-    (2.0, 10.0, "[2,10)"),
-    (10.0, 100.0, "[10,100)"),
-    (100.0, float("inf"), ">100"),
-]
-
-
-def bucketize_slowdowns(slowdowns: Sequence[float]) -> dict[str, float]:
-    """Fractions per slowdown bucket (the paper's Section 4 grouping)."""
-    if not slowdowns:
-        raise ValueError("no slowdowns to bucketize")
-    out = {label: 0.0 for _, _, label in SLOWDOWN_BUCKETS}
-    for s in slowdowns:
-        for lo, hi, label in SLOWDOWN_BUCKETS:
-            if lo <= s < hi:
-                out[label] += 1
-                break
-    n = len(slowdowns)
-    return {label: count / n for label, count in out.items()}

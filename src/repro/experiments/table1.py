@@ -72,3 +72,68 @@ def run(suite: ExperimentSuite) -> Table1Result:
     return Table1Result(
         n_selections=n_selections, percentiles=percentiles, q_errors=q_errors
     )
+
+
+# --------------------------------------------------------------------- #
+# replay path: per-estimator q-error percentiles from sweep rows
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+    from repro.physical import IndexConfig
+
+    return (
+        replace(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=(
+                EnumeratorConfig("pk+fk", indexes=IndexConfig.PK_FK),
+            ),
+        ),
+    )
+
+
+@dataclass
+class Table1ReplayResult:
+    """Per-estimator full-query q-error percentiles.
+
+    The deep path measures base-table *selections*; the replay path
+    reports the same per-estimator accuracy ladder over full-query
+    estimates — the grid's q-error column, percentiled.
+    """
+
+    n_queries: int
+    percentiles: dict[str, dict[float, float]]
+
+    def render(self) -> str:
+        rows = [
+            [name] + [self.percentiles[name][p] for p in PERCENTILES]
+            for name in sorted(self.percentiles)
+        ]
+        return format_table(
+            ["estimator", "median", "90th", "95th", "max"],
+            rows,
+            title=(
+                f"Table 1 (sweep replay): full-query q-errors over "
+                f"{self.n_queries} queries"
+            ),
+        )
+
+
+def from_frames(frames) -> Table1ReplayResult:
+    frame = frames[0]
+    config = frame.config_names[0]
+    percentiles: dict[str, dict[float, float]] = {}
+    for name in frame.estimator_names:
+        errors = np.asarray(
+            [r.q_error for r in frame.select(estimator=name, config=config)]
+        )
+        percentiles[name] = {
+            p: float(np.percentile(errors, p)) for p in PERCENTILES
+        }
+    return Table1ReplayResult(
+        n_queries=len(frame.query_names), percentiles=percentiles
+    )

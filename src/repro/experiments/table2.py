@@ -88,3 +88,108 @@ def run(suite: ExperimentSuite) -> Table2Result:
                     cost / max(bushy_cost, 1e-9)
                 )
     return Table2Result(slowdowns=slowdowns)
+
+
+# --------------------------------------------------------------------- #
+# replay path: restricted tree shapes from sweep rows
+# --------------------------------------------------------------------- #
+
+#: replayed shape classes, bushy first (the normaliser)
+REPLAY_SHAPES = (
+    TreeShape.BUSHY,
+    TreeShape.ZIG_ZAG,
+    TreeShape.LEFT_DEEP,
+    TreeShape.RIGHT_DEEP,
+)
+_REPLAY_INDEXES = (("pk", IndexConfig.PK), ("pk+fk", IndexConfig.PK_FK))
+
+
+def _shape_config_name(index_label: str, shape: TreeShape) -> str:
+    return f"{index_label}:{shape.value}"
+
+
+def report_specs(base):
+    """Eight configs: {PK, PK+FK} x {bushy + three restricted shapes}.
+
+    One estimator suffices — the table reads ``optimal_cost`` (the
+    true-cardinality optimum *within the config's shape class*), which
+    every estimator's row of a config carries identically.
+    """
+    from dataclasses import replace
+
+    from repro.pipeline.grid import EnumeratorConfig
+
+    return (
+        replace(
+            base,
+            estimators=("PostgreSQL",),
+            configs=tuple(
+                EnumeratorConfig(
+                    _shape_config_name(label, shape),
+                    indexes=index,
+                    shape=shape,
+                )
+                for label, index in _REPLAY_INDEXES
+                for shape in REPLAY_SHAPES
+            ),
+        ),
+    )
+
+
+@dataclass
+class Table2ReplayResult:
+    """Shape-restricted true optimum over the bushy true optimum."""
+
+    #: ratios[(index_label, shape)] = per-query cost ratios vs bushy
+    ratios: dict[tuple[str, TreeShape], list[float]] = field(repr=False)
+
+    def percentile(
+        self, index_label: str, shape: TreeShape, pct: float
+    ) -> float:
+        values = np.asarray(self.ratios[(index_label, shape)])
+        return float(np.percentile(values, pct))
+
+    def render(self) -> str:
+        rows = []
+        for shape in REPLAY_SHAPES[1:]:
+            row = [shape.value]
+            for label, _ in _REPLAY_INDEXES:
+                values = np.asarray(self.ratios[(label, shape)])
+                row += [
+                    float(np.median(values)),
+                    float(np.percentile(values, 95)),
+                    float(values.max()),
+                ]
+            rows.append(row)
+        return format_table(
+            ["shape",
+             "PK median", "PK 95%", "PK max",
+             "PK+FK median", "PK+FK 95%", "PK+FK max"],
+            rows,
+            title=(
+                "Table 2 (sweep replay): slowdown of restricted tree "
+                "shapes (true cardinalities)"
+            ),
+        )
+
+
+def from_frames(frames) -> Table2ReplayResult:
+    frame = frames[0]
+    ratios: dict[tuple[str, TreeShape], list[float]] = {}
+    for label, _ in _REPLAY_INDEXES:
+        bushy = {
+            row.query: row.optimal_cost
+            for row in frame.select(
+                config=_shape_config_name(label, TreeShape.BUSHY)
+            )
+        }
+        for shape in REPLAY_SHAPES[1:]:
+            per_query = []
+            for row in frame.select(
+                config=_shape_config_name(label, shape)
+            ):
+                per_query.append(
+                    row.optimal_cost / max(bushy[row.query], 1e-9)
+                )
+            ratios[(label, shape)] = per_query
+    return Table2ReplayResult(ratios=ratios)

@@ -108,3 +108,75 @@ def run(
                         true_cost / optimal_cost
                     )
     return Table3Result(ratios=ratios)
+
+
+# --------------------------------------------------------------------- #
+# replay path: estimation-induced loss by estimator from sweep rows
+# --------------------------------------------------------------------- #
+
+
+def report_specs(base):
+    from dataclasses import replace
+
+    from repro.pipeline.grid import DEFAULT_CONFIGS
+    from repro.pipeline.resources import ESTIMATOR_ORDER
+
+    return (
+        replace(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=DEFAULT_CONFIGS,
+        ),
+    )
+
+
+@dataclass
+class Table3ReplayResult:
+    """Median/max slowdown per (config, estimator).
+
+    The deep path compares enumeration *algorithms*; the replay path
+    reports the other axis of the paper's Section 6 finding from the
+    grid: the plan-quality loss induced by each estimator under
+    exhaustive DP, per physical design.
+    """
+
+    #: slowdowns[(config, estimator)] = per-query slowdowns
+    slowdowns: dict[tuple[str, str], list[float]] = field(repr=False)
+
+    def percentile(self, config: str, estimator: str, pct: float) -> float:
+        values = np.asarray(self.slowdowns[(config, estimator)])
+        return float(np.percentile(values, pct))
+
+    def render(self) -> str:
+        configs = sorted({c for c, _ in self.slowdowns})
+        estimators = sorted({e for _, e in self.slowdowns})
+        rows = []
+        for estimator in estimators:
+            row = [estimator]
+            for config in configs:
+                values = np.asarray(self.slowdowns[(config, estimator)])
+                row += [float(np.median(values)), float(values.max())]
+            rows.append(row)
+        headers = ["estimator"]
+        for config in configs:
+            headers += [f"{config} med", f"{config} max"]
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Table 3 (sweep replay): DP plan cost (recosted with true "
+                "cards) normalized by the true optimum, per estimator"
+            ),
+        )
+
+
+def from_frames(frames) -> Table3ReplayResult:
+    frame = frames[0]
+    slowdowns: dict[tuple[str, str], list[float]] = {}
+    for config in frame.config_names:
+        for estimator in frame.estimator_names:
+            slowdowns[(config, estimator)] = [
+                row.slowdown
+                for row in frame.select(estimator=estimator, config=config)
+            ]
+    return Table3ReplayResult(slowdowns=slowdowns)

@@ -21,9 +21,16 @@ Module             Provides
                    cells with stable content keys; dataset identity
 ``scheduler``      :class:`SweepScheduler` — largest-first ordering,
                    pool fan-out, canonical row gathering
-``results``        :class:`ResultStore` (persistent priced rows) +
+``results``        :class:`ResultStore` (persistent priced rows with a
+                   manifest index, ``load_many``/``scan`` batch APIs) +
                    :class:`CsvStreamWriter` / :class:`UnitReport`
                    (streaming reports)
+``index``          :class:`StoreIndex` — flock-disciplined manifest over
+                   a result-store directory with per-file staleness
+``aggregate``      :class:`StreamingAggregator` / :func:`aggregate_store`
+                   — incremental workload-level summaries of sweep rows
+``instrument``     process-local counters behind the warm-path
+                   zero-generation / zero-pricing guarantee
 ``driver``         :func:`run_sweep` — incremental orchestration
 ``truthstore``     :class:`TruthStore` — exact counts keyed by
                    ``(dataset, scale, seed, correlation, query name)``
@@ -57,6 +64,12 @@ from repro.pipeline.tasks import (
 )
 from repro.pipeline.scheduler import SweepScheduler, gather_rows, order_units
 from repro.pipeline.results import CsvStreamWriter, ResultStore, UnitReport
+from repro.pipeline.index import StoreIndex
+from repro.pipeline.aggregate import (
+    AggregateSummary,
+    StreamingAggregator,
+    aggregate_store,
+)
 from repro.pipeline.driver import (
     build_resources,
     price_cells,
@@ -69,6 +82,7 @@ __all__ = [
     "DATASETS",
     "DEFAULT_CONFIGS",
     "ESTIMATOR_ORDER",
+    "AggregateSummary",
     "CellKey",
     "CsvStreamWriter",
     "EnumeratorConfig",
@@ -77,6 +91,8 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "SweepRow",
+    "StoreIndex",
+    "StreamingAggregator",
     "SweepScheduler",
     "SweepSpec",
     "SweepUnit",
@@ -84,6 +100,7 @@ __all__ = [
     "TruthStore",
     "UnitReport",
     "WorkloadResources",
+    "aggregate_store",
     "build_resources",
     "check_dataset",
     "config_fingerprint",

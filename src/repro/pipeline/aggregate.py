@@ -1,0 +1,507 @@
+"""Streaming aggregation over sweep rows.
+
+The paper's headline artifacts are all *aggregations* of the same grid —
+medians and tail percentiles of q-errors, slowdown buckets, plan-cost
+ratios.  This module folds those summaries incrementally from
+:class:`~repro.pipeline.grid.SweepRow`\\ s so that:
+
+* a running sweep can expose live workload-level statistics through its
+  ``progress`` callback (a :class:`StreamingAggregator` *is* a valid
+  ``run_sweep(progress=...)`` callback — it folds the rows each
+  :class:`~repro.pipeline.results.UnitReport` carries), and
+* a warm :class:`~repro.pipeline.results.ResultStore` can be summarised
+  without a sweep at all (:func:`aggregate_store` batch-folds
+  ``ResultStore.scan``).
+
+Determinism contract
+--------------------
+
+In the default **exact** mode the aggregator retains one small scalar
+record per distinct cell, keyed by ``(query, estimator, config)``, and
+:meth:`StreamingAggregator.summary` folds those records in sorted key
+order.  Arrival order therefore cannot matter: sequential, pooled, and
+resumed sweeps — and any shuffling of a batch fold — produce
+**bit-identical** summaries.  Memory is O(cells), a few dozen bytes per
+cell (the 113-query × 5-estimator × 2-config paper grid retains ~1130
+records).
+
+With ``exact=False`` the aggregator keeps O(1) state per metric:
+quantiles come from P² sketches (Jain & Chlamtac 1985), counts and
+bucket tallies stay exact, and geometric means use running compensated
+(Kahan) log-sums.  The documented error bounds: a P² estimate always
+lies within the observed ``[min, max]``; it is order-dependent and
+approximate (typically within a few percent of the exact quantile for
+smooth distributions, and the equivalence test pins it within 50%
+relative error on the smoke grids); bucket fractions and counts are
+exact; compensated geo-means match the exact fold to ~1 ulp.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.pipeline.grid import SweepRow
+from repro.pipeline.results import ResultStore, UnitReport
+from repro.util.stats import SLOWDOWN_BUCKETS
+
+_BUCKET_LABELS = tuple(label for _, _, label in SLOWDOWN_BUCKETS)
+
+#: the quantiles the summary reports for q-error and slowdown
+SUMMARY_QUANTILES = (0.5, 0.95)
+
+
+class P2Quantile:
+    """Single-quantile P² estimator (Jain & Chlamtac, CACM 1985).
+
+    Five markers track the running min, max, target quantile and its two
+    flanking quantiles; marker heights move by a piecewise-parabolic
+    rule.  O(1) memory, O(1) update.  The estimate is exact until five
+    observations have arrived, always lies within the observed range,
+    and is order-dependent (see the module determinism contract).
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self._initial: list[float] = []
+        self._q: list[float] = []  # marker heights
+        self._n: list[int] = []  # marker positions (1-based)
+        self._np: list[float] = []  # desired positions
+        self._dn = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    def add(self, x: float) -> None:
+        if len(self._initial) < 5:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._q = list(self._initial)
+                self._n = [1, 2, 3, 4, 5]
+                self._np = [
+                    1.0,
+                    1.0 + 2.0 * self.p,
+                    1.0 + 4.0 * self.p,
+                    3.0 + 2.0 * self.p,
+                    5.0,
+                ]
+            return
+        q, n = self._q, self._n
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = next(i for i in range(4) if q[i] <= x < q[i + 1])
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (
+                d <= -1 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:  # parabolic would cross a neighbour: linear fallback
+                    q[i] = q[i] + step * (q[i + step] - q[i]) / (
+                        n[i + step] - n[i]
+                    )
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation)."""
+        if self._q:
+            return self._q[2]
+        if not self._initial:
+            return float("nan")
+        ordered = sorted(self._initial)
+        # exact linear-interpolated quantile while n < 5
+        rank = self.p * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+
+class _KahanSum:
+    """Compensated running sum (order effects bounded to ~1 ulp)."""
+
+    __slots__ = ("total", "_c")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._c = 0.0
+
+    def add(self, x: float) -> None:
+        y = x - self._c
+        t = self.total + y
+        self._c = (t - self.total) - y
+        self.total = t
+
+
+def _exact_quantile(ordered: list[float], p: float) -> float:
+    """Linear-interpolated quantile of an already-sorted list."""
+    if not ordered:
+        return float("nan")
+    rank = p * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+
+def _geo_mean_exact(values: list[float]) -> float:
+    """Exactly-rounded geometric mean (``math.fsum`` of sorted logs)."""
+    if not values:
+        return float("nan")
+    return math.exp(
+        math.fsum(math.log(max(v, 1e-300)) for v in values) / len(values)
+    )
+
+
+@dataclass
+class EstimatorStats:
+    """Workload-level statistics of one estimator (all configs pooled)."""
+
+    estimator: str
+    n: int
+    q_error_median: float
+    q_error_p95: float
+    q_error_geo_mean: float
+    slowdown_median: float
+    slowdown_p95: float
+    frac_slow_2x: float
+    frac_slow_10x: float
+
+
+@dataclass
+class ConfigStats:
+    """Per-enumerator-config statistics (all estimators pooled)."""
+
+    config: str
+    n: int
+    slowdown_buckets: dict[str, float]
+    slowdown_geo_mean: float
+    #: geo-mean of true_cost / optimal_cost — the plan-cost ratio the
+    #: paper's Section 6 normalises by
+    plan_cost_ratio_geo_mean: float
+
+
+@dataclass
+class AggregateSummary:
+    """One sweep's (or store's) folded statistics."""
+
+    n_rows: int
+    n_queries: int
+    by_estimator: list[EstimatorStats]
+    by_config: list[ConfigStats]
+    #: total pricing wall time observed via UnitReports (0.0 for batch
+    #: folds over a store scan)
+    priced_seconds: float = 0.0
+    priced_cells: int = 0
+    replayed_cells: int = 0
+    exact: bool = True
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.priced_cells == 0 or self.priced_seconds <= 0:
+            return 0.0
+        return self.priced_cells / self.priced_seconds
+
+    def render(self) -> str:
+        from repro.experiments.report import format_table
+
+        mode = "exact" if self.exact else "P2-sketch"
+        est_rows = [
+            [
+                s.estimator,
+                s.n,
+                s.q_error_median,
+                s.q_error_p95,
+                s.q_error_geo_mean,
+                s.slowdown_median,
+                s.slowdown_p95,
+                f"{s.frac_slow_2x:.1%}",
+                f"{s.frac_slow_10x:.1%}",
+            ]
+            for s in self.by_estimator
+        ]
+        est_table = format_table(
+            ["estimator", "n", "q-err med", "q-err p95", "q-err geo",
+             "slow med", "slow p95", ">=2x", ">=10x"],
+            est_rows,
+            title=(
+                f"Sweep aggregate ({mode}): {self.n_rows} rows over "
+                f"{self.n_queries} queries"
+            ),
+        )
+        cfg_rows = [
+            [c.config, c.n]
+            + [f"{c.slowdown_buckets[label]:.1%}" for label in _BUCKET_LABELS]
+            + [c.slowdown_geo_mean, c.plan_cost_ratio_geo_mean]
+            for c in self.by_config
+        ]
+        cfg_table = format_table(
+            ["config", "n"] + list(_BUCKET_LABELS)
+            + ["slow geo", "cost ratio geo"],
+            cfg_rows,
+            title="Slowdown buckets by enumerator config",
+        )
+        lines = [est_table, "", cfg_table]
+        if self.priced_cells or self.replayed_cells:
+            lines.append("")
+            lines.append(
+                f"priced {self.priced_cells} cells in "
+                f"{self.priced_seconds:.2f}s "
+                f"({self.cells_per_second:.1f} cells/s), "
+                f"replayed {self.replayed_cells}"
+            )
+        return "\n".join(lines)
+
+
+class StreamingAggregator:
+    """Fold sweep rows into workload-level summaries, incrementally.
+
+    Feed it rows directly (:meth:`add` / :meth:`add_many`), pass the
+    aggregator itself as ``run_sweep(progress=...)`` (it consumes each
+    :class:`UnitReport`'s rows and wall time), or batch-fold a store with
+    :func:`aggregate_store`.  See the module docstring for the
+    exact-vs-sketch determinism contract.
+
+    Re-adding a cell (same ``(query, estimator, config)``) overwrites its
+    record in exact mode — folds are idempotent per cell — but is double
+    counted by the sketch mode's O(1) state.
+    """
+
+    def __init__(self, exact: bool = True) -> None:
+        self.exact = exact
+        self.n_rows = 0
+        self.priced_seconds = 0.0
+        self.priced_cells = 0
+        self.replayed_cells = 0
+        self._queries: set[str] = set()
+        if exact:
+            # (query, estimator, config) -> (q_error, slowdown, cost ratio)
+            self._cells: dict[
+                tuple[str, str, str], tuple[float, float, float]
+            ] = {}
+        else:
+            self._est_n: dict[str, int] = {}
+            self._est_q_sketch: dict[str, dict[float, P2Quantile]] = {}
+            self._est_s_sketch: dict[str, dict[float, P2Quantile]] = {}
+            self._est_q_logsum: dict[str, _KahanSum] = {}
+            self._est_slow2: dict[str, int] = {}
+            self._est_slow10: dict[str, int] = {}
+            self._cfg_n: dict[str, int] = {}
+            self._cfg_buckets: dict[str, dict[str, int]] = {}
+            self._cfg_s_logsum: dict[str, _KahanSum] = {}
+            self._cfg_ratio_logsum: dict[str, _KahanSum] = {}
+
+    # ------------------------------------------------------------------ #
+    # folding
+    # ------------------------------------------------------------------ #
+
+    def add(self, row: SweepRow) -> None:
+        self.n_rows += 1
+        self._queries.add(row.query)
+        ratio = row.true_cost / max(row.optimal_cost, 1e-9)
+        if self.exact:
+            self._cells[(row.query, row.estimator, row.config)] = (
+                row.q_error, row.slowdown, ratio
+            )
+            return
+        est, cfg = row.estimator, row.config
+        self._est_n[est] = self._est_n.get(est, 0) + 1
+        for p in SUMMARY_QUANTILES:
+            self._est_q_sketch.setdefault(est, {}).setdefault(
+                p, P2Quantile(p)
+            ).add(row.q_error)
+            self._est_s_sketch.setdefault(est, {}).setdefault(
+                p, P2Quantile(p)
+            ).add(row.slowdown)
+        self._est_q_logsum.setdefault(est, _KahanSum()).add(
+            math.log(max(row.q_error, 1e-300))
+        )
+        self._est_slow2[est] = self._est_slow2.get(est, 0) + (
+            row.slowdown >= 2.0
+        )
+        self._est_slow10[est] = self._est_slow10.get(est, 0) + (
+            row.slowdown >= 10.0
+        )
+        self._cfg_n[cfg] = self._cfg_n.get(cfg, 0) + 1
+        buckets = self._cfg_buckets.setdefault(
+            cfg, {label: 0 for label in _BUCKET_LABELS}
+        )
+        for lo, hi, label in SLOWDOWN_BUCKETS:
+            if lo <= row.slowdown < hi:
+                buckets[label] += 1
+                break
+        self._cfg_s_logsum.setdefault(cfg, _KahanSum()).add(
+            math.log(max(row.slowdown, 1e-300))
+        )
+        self._cfg_ratio_logsum.setdefault(cfg, _KahanSum()).add(
+            math.log(max(ratio, 1e-300))
+        )
+
+    def add_many(self, rows: Iterable[SweepRow]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def on_report(self, report: UnitReport) -> None:
+        """Consume one sweep progress event (rows + throughput)."""
+        self.add_many(report.rows)
+        self.priced_seconds += report.unit_seconds
+        self.priced_cells += report.priced
+        self.replayed_cells += report.cached
+
+    #: a StreamingAggregator is itself a valid ``progress`` callback
+    __call__ = on_report
+
+    # ------------------------------------------------------------------ #
+    # summarising
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> AggregateSummary:
+        if self.exact:
+            by_estimator, by_config = self._summarise_exact()
+        else:
+            by_estimator, by_config = self._summarise_sketch()
+        return AggregateSummary(
+            n_rows=self.n_rows,
+            n_queries=len(self._queries),
+            by_estimator=by_estimator,
+            by_config=by_config,
+            priced_seconds=self.priced_seconds,
+            priced_cells=self.priced_cells,
+            replayed_cells=self.replayed_cells,
+            exact=self.exact,
+        )
+
+    def _summarise_exact(self):
+        # fold retained records in sorted key order: the arrival order —
+        # pooled, resumed, shuffled — cannot leak into the summary
+        by_est: dict[str, list[tuple[float, float, float]]] = {}
+        by_cfg: dict[str, list[tuple[float, float, float]]] = {}
+        for key in sorted(self._cells):
+            record = self._cells[key]
+            by_est.setdefault(key[1], []).append(record)
+            by_cfg.setdefault(key[2], []).append(record)
+        estimators = []
+        for est in sorted(by_est):
+            records = by_est[est]
+            q_errors = sorted(r[0] for r in records)
+            slowdowns_sorted = sorted(r[1] for r in records)
+            estimators.append(
+                EstimatorStats(
+                    estimator=est,
+                    n=len(records),
+                    q_error_median=_exact_quantile(q_errors, 0.5),
+                    q_error_p95=_exact_quantile(q_errors, 0.95),
+                    q_error_geo_mean=_geo_mean_exact(q_errors),
+                    slowdown_median=_exact_quantile(slowdowns_sorted, 0.5),
+                    slowdown_p95=_exact_quantile(slowdowns_sorted, 0.95),
+                    frac_slow_2x=sum(
+                        s >= 2.0 for s in slowdowns_sorted
+                    ) / len(records),
+                    frac_slow_10x=sum(
+                        s >= 10.0 for s in slowdowns_sorted
+                    ) / len(records),
+                )
+            )
+        configs = []
+        for cfg in sorted(by_cfg):
+            records = by_cfg[cfg]
+            slowdowns = [r[1] for r in records]
+            buckets = {label: 0 for label in _BUCKET_LABELS}
+            for s in slowdowns:
+                for lo, hi, label in SLOWDOWN_BUCKETS:
+                    if lo <= s < hi:
+                        buckets[label] += 1
+                        break
+            configs.append(
+                ConfigStats(
+                    config=cfg,
+                    n=len(records),
+                    slowdown_buckets={
+                        label: count / len(records)
+                        for label, count in buckets.items()
+                    },
+                    slowdown_geo_mean=_geo_mean_exact(sorted(slowdowns)),
+                    plan_cost_ratio_geo_mean=_geo_mean_exact(
+                        sorted(r[2] for r in records)
+                    ),
+                )
+            )
+        return estimators, configs
+
+    def _summarise_sketch(self):
+        estimators = [
+            EstimatorStats(
+                estimator=est,
+                n=self._est_n[est],
+                q_error_median=self._est_q_sketch[est][0.5].value(),
+                q_error_p95=self._est_q_sketch[est][0.95].value(),
+                q_error_geo_mean=math.exp(
+                    self._est_q_logsum[est].total / self._est_n[est]
+                ),
+                slowdown_median=self._est_s_sketch[est][0.5].value(),
+                slowdown_p95=self._est_s_sketch[est][0.95].value(),
+                frac_slow_2x=self._est_slow2[est] / self._est_n[est],
+                frac_slow_10x=self._est_slow10[est] / self._est_n[est],
+            )
+            for est in sorted(self._est_n)
+        ]
+        configs = [
+            ConfigStats(
+                config=cfg,
+                n=self._cfg_n[cfg],
+                slowdown_buckets={
+                    label: count / self._cfg_n[cfg]
+                    for label, count in self._cfg_buckets[cfg].items()
+                },
+                slowdown_geo_mean=math.exp(
+                    self._cfg_s_logsum[cfg].total / self._cfg_n[cfg]
+                ),
+                plan_cost_ratio_geo_mean=math.exp(
+                    self._cfg_ratio_logsum[cfg].total / self._cfg_n[cfg]
+                ),
+            )
+            for cfg in sorted(self._cfg_n)
+        ]
+        return estimators, configs
+
+
+def aggregate_store(
+    store: ResultStore,
+    predicate: Callable[[SweepRow], bool] | None = None,
+    exact: bool = True,
+) -> AggregateSummary:
+    """Batch-fold every stored row of a result store into a summary.
+
+    The scan's deterministic order plus the exact fold's sorted-key
+    summarisation make this reproducible — and identical to a streaming
+    fold over the same rows in any arrival order (exact mode).
+    """
+    aggregator = StreamingAggregator(exact=exact)
+    total = 0
+    for row in store.scan(predicate):
+        aggregator.add(row)
+        total += 1
+    aggregator.replayed_cells = total
+    return aggregator.summary()

@@ -83,6 +83,9 @@ def price_cells(
     wanted = set(pairs)
     if not wanted:
         return []
+    from repro.pipeline.instrument import COUNTERS
+
+    COUNTERS.cells_priced += len(wanted)
     ws: QueryWorkspace = resources.workspace(query)
     # materialise the truth bottom-up first: compute_all bounds peak
     # memory to two size-generations of compressed intermediates, whereas
@@ -200,11 +203,16 @@ def run_sweep(
     rows_by_cell: dict[tuple[str, str, str], SweepRow] = {}
     cached_cells: dict[str, list[SweepCell]] = {u.query: [] for u in units}
     pending_units: list[SweepUnit] = []
+    # one manifest read answers the whole workload's replay question;
+    # only per-query files that actually hold rows get opened
+    stored_rows = (
+        store.load_many([u.query for u in units])
+        if store is not None and resume
+        else {}
+    )
     for unit in units:
         pending: list[SweepCell] = []
-        stored = (
-            store.load(unit.query) if store is not None and resume else {}
-        )
+        stored = stored_rows.get(unit.query, {})
         for cell in unit.cells:
             row = stored.get(
                 (cell.key.estimator, cell.key.config_fingerprint)
@@ -226,6 +234,9 @@ def run_sweep(
 
     n_cached = sum(len(cells) for cells in cached_cells.values())
     n_priced = sum(len(u.cells) for u in pending_units)
+    from repro.pipeline.instrument import COUNTERS
+
+    COUNTERS.rows_replayed += n_cached
     total_units = len(units)
     writer = (
         CsvStreamWriter(stream_csv) if stream_csv is not None else None
@@ -233,7 +244,13 @@ def run_sweep(
     scheduler: SweepScheduler | None = None
     completed = 0
 
-    def _report(query: str, priced: int, cached: int) -> None:
+    def _report(
+        query: str,
+        priced: int,
+        cached: int,
+        unit_rows: list[SweepRow],
+        unit_seconds: float,
+    ) -> None:
         if progress is not None:
             progress(
                 UnitReport(
@@ -242,6 +259,8 @@ def run_sweep(
                     total=total_units,
                     priced=priced,
                     cached=cached,
+                    unit_seconds=unit_seconds,
+                    rows=tuple(unit_rows),
                 )
             )
 
@@ -252,13 +271,14 @@ def run_sweep(
             if unit.query in pending_names:
                 continue
             completed += 1
+            unit_rows = [rows_by_cell[_cell_row_key(c)] for c in unit.cells]
             if writer is not None:
-                writer.write(
-                    [rows_by_cell[_cell_row_key(c)] for c in unit.cells]
-                )
-            _report(unit.query, 0, len(unit.cells))
+                writer.write(unit_rows)
+            _report(unit.query, 0, len(unit.cells), unit_rows, 0.0)
 
-        def _on_complete(unit: SweepUnit, rows: list[SweepRow]) -> None:
+        def _on_complete(
+            unit: SweepUnit, rows: list[SweepRow], seconds: float
+        ) -> None:
             nonlocal completed
             completed += 1
             priced_cells = dict(zip(unit.cells, rows))
@@ -272,17 +292,24 @@ def run_sweep(
                         for cell, row in priced_cells.items()
                     },
                 )
+            # the unit's full row set (replayed cells included) in
+            # canonical order: streamed to CSV so the mid-run file always
+            # holds complete units, and carried on the progress report so
+            # streaming aggregators fold whole units
+            unit_cells = sorted(
+                list(priced_cells) + cached_cells[unit.query],
+                key=lambda c: c.order,
+            )
+            unit_rows = [rows_by_cell[_cell_row_key(c)] for c in unit_cells]
             if writer is not None:
-                # stream the unit's full row set (replayed cells included)
-                # so the mid-run CSV always holds complete units
-                unit_cells = sorted(
-                    list(priced_cells) + cached_cells[unit.query],
-                    key=lambda c: c.order,
-                )
-                writer.write(
-                    [rows_by_cell[_cell_row_key(c)] for c in unit_cells]
-                )
-            _report(unit.query, len(rows), len(cached_cells[unit.query]))
+                writer.write(unit_rows)
+            _report(
+                unit.query,
+                len(rows),
+                len(cached_cells[unit.query]),
+                unit_rows,
+                seconds,
+            )
 
         scheduler = SweepScheduler(
             spec,

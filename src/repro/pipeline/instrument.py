@@ -1,0 +1,48 @@
+"""Process-local counters for the pipeline's expensive operations.
+
+The replay path's contract is *negative*: a warm ``repro report`` must
+generate **zero** databases and price **zero** cells.  Negative claims
+need instrumentation, not inspection — these counters are incremented at
+the two chokepoints every expensive path funnels through
+(:func:`~repro.pipeline.tasks.make_database` and
+:func:`~repro.pipeline.driver.price_cells`), so a test or the CLI can
+snapshot before, run, and assert the delta.
+
+Counters are per-process: work done inside ``multiprocessing`` pool
+workers shows up in the workers, not the master.  That is the right
+scope for the warm-path guarantee (a fully cached run never spawns
+workers at all) and keeps the counters free of cross-process plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Counters:
+    """Monotone event counts since process start (or last snapshot)."""
+
+    db_generations: int = 0
+    cells_priced: int = 0
+    rows_replayed: int = 0
+
+    def __sub__(self, other: "Counters") -> "Counters":
+        return Counters(
+            db_generations=self.db_generations - other.db_generations,
+            cells_priced=self.cells_priced - other.cells_priced,
+            rows_replayed=self.rows_replayed - other.rows_replayed,
+        )
+
+
+#: the process-wide counter instance
+COUNTERS = Counters()
+
+
+def snapshot() -> Counters:
+    """An immutable copy of the current counts (for later deltas)."""
+    return Counters(
+        db_generations=COUNTERS.db_generations,
+        cells_priced=COUNTERS.cells_priced,
+        rows_replayed=COUNTERS.rows_replayed,
+    )

@@ -16,6 +16,13 @@ Floats survive the JSON round trip exactly (``json`` serialises via
 ``repr``), so replayed rows are bit-identical to freshly priced ones —
 including in CSV output.
 
+Batch access goes through the directory's manifest
+(:class:`~repro.pipeline.index.StoreIndex`): :meth:`ResultStore.load_many`
+answers a whole workload's replay question with one index read, and
+:meth:`ResultStore.scan` streams every stored row in deterministic order
+for batch aggregation.  Per-file staleness checks keep the manifest
+honest under concurrent sweeps.
+
 The reporting half streams results while a sweep is still running:
 :class:`CsvStreamWriter` appends complete rows (flushed after every
 unit) in completion order and atomically rewrites the file in canonical
@@ -28,13 +35,18 @@ from __future__ import annotations
 import csv
 import io
 import json
+import logging
 import os
 import tempfile
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
 from repro.pipeline.grid import SweepRow, SweepSpec
+from repro.pipeline.index import StoreIndex
 from repro.pipeline.truthstore import atomic_write_json, db_key, locked
+
+log = logging.getLogger(__name__)
 
 _FORMAT_VERSION = 1
 
@@ -72,6 +84,17 @@ class ResultStore:
             / db_key(scale, seed, correlation=correlation, dataset=dataset)
             / "results"
         )
+        self._index: StoreIndex | None = None
+        #: malformed rows skipped by :meth:`load` over this instance's
+        #: lifetime (each one is also logged at WARNING)
+        self.dropped_rows = 0
+
+    @property
+    def index(self) -> StoreIndex:
+        """The directory's manifest index (built lazily, refreshed on use)."""
+        if self._index is None:
+            self._index = StoreIndex(self)
+        return self._index
 
     @classmethod
     def for_spec(cls, root: str | Path, spec: SweepSpec) -> "ResultStore":
@@ -91,8 +114,10 @@ class ResultStore:
     def load(self, query_name: str) -> dict[tuple[str, str], SweepRow]:
         """Stored rows for one query, keyed by (estimator, fingerprint).
 
-        Corrupt, incompatible, or missing files read as empty — the sweep
-        recomputes and overwrites those cells.
+        Corrupt, incompatible, or missing files read as empty, and a
+        malformed *row* drops only itself: the remaining rows of the file
+        still replay, the sweep re-prices exactly the dropped cells, and
+        every drop is counted (:attr:`dropped_rows`) and logged.
         """
         try:
             raw = json.loads(self.path(query_name).read_text())
@@ -101,6 +126,7 @@ class ResultStore:
         if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
             return {}
         rows: dict[tuple[str, str], SweepRow] = {}
+        dropped = 0
         for key, payload in raw.get("rows", {}).items():
             estimator, _, fingerprint = key.partition("|")
             try:
@@ -112,9 +138,63 @@ class ResultStore:
                     for name in ROW_FIELDS
                 })
             except (KeyError, TypeError, ValueError):
-                return {}
+                dropped += 1
+                continue
             rows[(estimator, fingerprint)] = row
+        if dropped:
+            self.dropped_rows += dropped
+            log.warning(
+                "result store %s: skipped %d malformed row(s) of %s "
+                "(%d intact rows kept; the sweep will re-price the drops)",
+                self.directory,
+                dropped,
+                query_name,
+                len(rows),
+            )
         return rows
+
+    def load_many(
+        self, query_names: Iterable[str]
+    ) -> dict[str, dict[tuple[str, str], SweepRow]]:
+        """Stored rows for many queries via one manifest read.
+
+        The index answers "which of these queries have rows at all" from
+        a single (staleness-checked) manifest, so only files that hold
+        rows are opened — on a thousand-query workload whose store covers
+        a fraction of the grid, that is one index read plus a handful of
+        file opens instead of a thousand opens.  Files the refresh just
+        re-parsed (stale or new entries) are served from that parse
+        rather than being opened a second time.
+        """
+        indexed, parsed = self.index.refresh_with_rows()
+        return {
+            name: (
+                parsed[name] if name in parsed
+                else self.load(name) if name in indexed
+                else {}
+            )
+            for name in query_names
+        }
+
+    def scan(
+        self, predicate: Callable[[SweepRow], bool] | None = None
+    ) -> Iterator[SweepRow]:
+        """Every stored row (optionally filtered), in canonical store order.
+
+        Order is deterministic — queries sorted by name, rows sorted by
+        ``(estimator, fingerprint)`` within a query — so batch folds over
+        a scan are reproducible run to run.
+        """
+        indexed, parsed = self.index.refresh_with_rows()
+        for query_name in sorted(indexed):
+            rows = (
+                parsed[query_name] if query_name in parsed
+                else self.load(query_name)
+            )
+            for key in sorted(rows):
+                row = rows[key]
+                if predicate is None or predicate(row):
+                    yield row
 
     def save(
         self,
@@ -148,7 +228,11 @@ class ResultStore:
         """Names of queries with stored rows, sorted."""
         if not self.directory.is_dir():
             return []
-        return sorted(p.stem for p in self.directory.glob("*.json"))
+        return sorted(
+            p.stem
+            for p in self.directory.glob("*.json")
+            if not p.name.startswith(".")  # manifest, locks, temp files
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -162,7 +246,13 @@ class UnitReport:
 
     ``index`` counts completions (1-based) out of ``total`` units;
     ``priced`` and ``cached`` split the unit's cells into freshly
-    computed versus replayed from the result store.
+    computed versus replayed from the result store.  ``unit_seconds`` is
+    the unit's pricing wall time (0.0 for fully replayed units), measured
+    where the work ran — inside the pool worker for pooled sweeps — so
+    throughput numbers exclude IPC overhead.  ``rows`` carries the unit's
+    complete row set (replayed cells included) in canonical cell order,
+    which is what lets a streaming consumer fold summaries incrementally
+    from progress events alone.
     """
 
     query: str
@@ -170,13 +260,28 @@ class UnitReport:
     total: int
     priced: int
     cached: int
+    unit_seconds: float = 0.0
+    rows: tuple[SweepRow, ...] = ()
+
+    @property
+    def cells_per_second(self) -> float:
+        """Pricing throughput (0.0 for fully replayed units)."""
+        if self.priced == 0 or self.unit_seconds <= 0:
+            return 0.0
+        return self.priced / self.unit_seconds
 
     def render(self) -> str:
         source = "result cache" if self.priced == 0 else (
             f"priced {self.priced}"
             + (f", {self.cached} cached" if self.cached else "")
         )
-        return f"[{self.index}/{self.total}] {self.query}: {source}"
+        timing = (
+            f" in {self.unit_seconds:.2f}s"
+            f" ({self.cells_per_second:.1f} cells/s)"
+            if self.priced and self.unit_seconds > 0
+            else ""
+        )
+        return f"[{self.index}/{self.total}] {self.query}: {source}{timing}"
 
 
 class CsvStreamWriter:

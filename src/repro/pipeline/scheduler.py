@@ -31,6 +31,7 @@ already owns the machine); every mode produces bit-identical rows.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import replace
 from pathlib import Path
@@ -38,8 +39,10 @@ from pathlib import Path
 from repro.pipeline.grid import SweepRow, SweepSpec
 from repro.pipeline.tasks import SweepCell, SweepUnit
 
-#: callback invoked as each unit completes: (unit, freshly priced rows)
-UnitCallback = Callable[[SweepUnit, list[SweepRow]], None]
+#: callback invoked as each unit completes: (unit, freshly priced rows,
+#: pricing wall seconds — measured where the work ran, so pooled units
+#: report worker-side time without IPC overhead)
+UnitCallback = Callable[[SweepUnit, list[SweepRow], float], None]
 
 
 def order_units(units: Sequence[SweepUnit]) -> list[SweepUnit]:
@@ -91,14 +94,15 @@ def _init_worker(spec: SweepSpec, truth_root: str | None) -> None:
 
 def _run_unit(
     payload: tuple[str, tuple[tuple[int, int], ...]]
-) -> tuple[str, list[SweepRow]]:
+) -> tuple[str, list[SweepRow], float]:
     from repro.pipeline.driver import price_cells
 
     query_name, pairs = payload
     spec: SweepSpec = _WORKER["spec"]
     resources = _WORKER["resources"]
+    started = time.perf_counter()
     rows = price_cells(resources, resources.query(query_name), spec, pairs)
-    return query_name, rows
+    return query_name, rows, time.perf_counter() - started
 
 
 def _cell_pairs(cells: Sequence[SweepCell]) -> tuple[tuple[int, int], ...]:
@@ -163,15 +167,17 @@ class SweepScheduler:
             self.resources = resources
         priced: dict[str, list[SweepRow]] = {}
         for unit in ordered:
+            started = time.perf_counter()
             rows = driver.price_cells(
                 resources,
                 resources.query(unit.query),
                 self.spec,
                 _cell_pairs(unit.cells),
             )
+            elapsed = time.perf_counter() - started
             priced[unit.query] = rows
             if on_complete is not None:
-                on_complete(unit, rows)
+                on_complete(unit, rows, elapsed)
         return priced
 
     def _run_pooled(
@@ -191,10 +197,10 @@ class SweepScheduler:
             initializer=_init_worker,
             initargs=(self.spec, truth_arg),
         ) as pool:
-            for query_name, rows in pool.imap_unordered(
+            for query_name, rows, seconds in pool.imap_unordered(
                 _run_unit, payloads, chunksize=1
             ):
                 priced[query_name] = rows
                 if on_complete is not None:
-                    on_complete(by_query[query_name], rows)
+                    on_complete(by_query[query_name], rows, seconds)
         return priced

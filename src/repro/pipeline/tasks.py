@@ -57,6 +57,9 @@ def make_database(
     the parameter is accepted but has no effect there.
     """
     check_dataset(dataset)
+    from repro.pipeline.instrument import COUNTERS
+
+    COUNTERS.db_generations += 1
     if dataset == "imdb":
         from repro.datagen import generate_imdb
 

@@ -37,3 +37,29 @@ def geometric_mean(values: Sequence[float]) -> float:
     if np.any(arr <= 0):
         raise ValueError("geometric mean requires strictly positive values")
     return float(math.exp(float(np.mean(np.log(arr)))))
+
+
+#: the paper's Section 4 slowdown grouping, shared by the experiment
+#: renderers and the pipeline's streaming aggregator
+SLOWDOWN_BUCKETS: list[tuple[float, float, str]] = [
+    (0.0, 0.9, "<0.9"),
+    (0.9, 1.1, "[0.9,1.1)"),
+    (1.1, 2.0, "[1.1,2)"),
+    (2.0, 10.0, "[2,10)"),
+    (10.0, 100.0, "[10,100)"),
+    (100.0, float("inf"), ">100"),
+]
+
+
+def bucketize_slowdowns(slowdowns: Sequence[float]) -> dict[str, float]:
+    """Fractions per slowdown bucket (the paper's Section 4 grouping)."""
+    if not slowdowns:
+        raise ValueError("no slowdowns to bucketize")
+    out = {label: 0.0 for _, _, label in SLOWDOWN_BUCKETS}
+    for s in slowdowns:
+        for lo, hi, label in SLOWDOWN_BUCKETS:
+            if lo <= s < hi:
+                out[label] += 1
+                break
+    n = len(slowdowns)
+    return {label: count / n for label, count in out.items()}
