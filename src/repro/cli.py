@@ -258,18 +258,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
 
-    if args.artifact == "summary":
-        return _report_summary(args)
+    artifacts = list(args.artifact)
+    run_summary = "summary" in artifacts
+    names = [n for n in artifacts if n != "summary"]
     known = frame_mod.available_reports()
-    names = known if args.artifact == "all" else [args.artifact]
+    if "all" in names:
+        names = known
     unknown = [n for n in names if n not in known]
     if unknown:
+        import difflib
+
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, known, n=1)
+            if close:
+                hints.append(f"did you mean {close[0]!r}?")
+        hint = (" " + " ".join(hints)) if hints else ""
         print(
-            f"unknown report(s) {', '.join(unknown)}; choose from: "
-            f"{', '.join(known)}, summary, or 'all'",
+            f"unknown report(s) {', '.join(unknown)};{hint}\n"
+            f"available artifacts: {', '.join(known)}, summary, or 'all'",
             file=sys.stderr,
         )
         return 2
+    if run_summary:
+        code = _report_summary(args)
+        if code != 0 or not names:
+            return code
+        print()
 
     base = SweepSpec(
         scale=args.scale,
@@ -318,7 +333,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _report_summary(args: argparse.Namespace) -> int:
     """Aggregate whatever the result store holds — a pure batch fold."""
     from repro.pipeline import ResultStore
-    from repro.pipeline.aggregate import aggregate_store
+    from repro.pipeline.aggregate import aggregate_deep_store, aggregate_store
 
     if not args.result_cache:
         print(
@@ -334,6 +349,9 @@ def _report_summary(args: argparse.Namespace) -> int:
     )
     summary = aggregate_store(store)
     print(summary.render())
+    if store.index.total_deep_rows():
+        print()
+        print(aggregate_deep_store(store).render())
     if summary.n_rows == 0:
         print(
             f"(store at {store.directory} holds no rows)", file=sys.stderr
@@ -480,9 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "artifact",
+        nargs="+",
         help=(
-            "fig3..fig9, table1..table3, ablation, "
-            "summary (aggregate the whole store), or 'all'"
+            "one or more of: fig3..fig9, table1..table3, ablation, a "
+            "paper-faithful deep variant (fig3-deep, fig5-deep, "
+            "fig6-deep, fig7-deep, fig8-deep — subexpression "
+            "distributions and simulated runtimes replayed from stored "
+            "DeepRows), summary (aggregate the whole store), or 'all'"
         ),
     )
     p_report.add_argument("--scale", default="tiny",

@@ -176,3 +176,68 @@ def from_frames(frames) -> Fig3ReplayResult:
             frame.joins(row.query), []
         ).append(row.q_error)
     return Fig3ReplayResult(q_errors=q_errors)
+
+
+# --------------------------------------------------------------------- #
+# deep replay path: the paper-faithful Figure 3 from stored DeepRows
+# --------------------------------------------------------------------- #
+
+#: subexpression-size cap of the deep replay artifact (matches the
+#: `repro run fig3` CLI default)
+DEEP_MAX_SUBEXPR_SIZE = 6
+
+
+def deep_report_specs(base):
+    """One subexpression frame: all five estimators, every connected
+    subexpression up to :data:`DEEP_MAX_SUBEXPR_SIZE` relations."""
+    from repro.pipeline.grid import DeepSpec, subexpr_deep_config
+
+    return (
+        DeepSpec.from_base(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER),
+            configs=(subexpr_deep_config(DEEP_MAX_SUBEXPR_SIZE),),
+        ),
+    )
+
+
+def from_deep_frames(frames) -> Fig3Result:
+    """Fold stored subexpression observations into the *deep* Figure 3.
+
+    This is the same measurement :func:`run` performs — signed
+    estimate/truth ratios of every connected subexpression, summarised
+    per join count — folded from persisted
+    :class:`~repro.pipeline.grid.DeepRow`\\ s instead of a live suite.
+    Because stored floats round-trip bit-exactly and rows replay in the
+    pricing order (query → subexpression size → bitset), the rendered
+    result is byte-identical to :func:`run` on the same grid.
+    """
+    frame = frames[0]
+    ratios: dict[str, dict[int, list[float]]] = {
+        name: {} for name in ESTIMATOR_ORDER
+    }
+    for row in frame.select(kind="subexpr"):
+        joins = popcount(row.subset) - 1
+        ratios[row.estimator].setdefault(joins, []).append(
+            signed_ratio(row.est_card, row.true_card)
+        )
+
+    percentiles: dict[str, dict[int, dict[float, float]]] = {}
+    wrong_10x: dict[str, dict[int, float]] = {}
+    for name, by_joins in ratios.items():
+        percentiles[name] = {}
+        wrong_10x[name] = {}
+        for joins, values in by_joins.items():
+            arr = np.asarray(values)
+            percentiles[name][joins] = {
+                p: float(np.percentile(arr, p)) for p in PERCENTILES
+            }
+            wrong_10x[name][joins] = float(
+                np.mean((arr >= 10) | (arr <= 0.1))
+            )
+    return Fig3Result(
+        max_joins=DEEP_MAX_SUBEXPR_SIZE - 1,
+        ratios=ratios,
+        percentiles=percentiles,
+        wrong_10x=wrong_10x,
+    )

@@ -165,3 +165,61 @@ def from_frames(frames) -> Fig5ReplayResult:
             frame.joins(row.query), []
         ).append(row.q_error)
     return Fig5ReplayResult(q_errors=q_errors)
+
+
+# --------------------------------------------------------------------- #
+# deep replay path: the paper-faithful Figure 5 from stored DeepRows
+# --------------------------------------------------------------------- #
+
+#: deep variant label -> the estimator (cardinality source) that prices it
+DEEP_VARIANT_SOURCES = (
+    ("default", "PostgreSQL"),
+    ("true-distinct", "PostgreSQL (true distincts)"),
+)
+
+#: subexpression-size cap (shared with fig3's deep artifact, so the two
+#: figures share every "PostgreSQL" subexpression cell in the store)
+DEEP_MAX_SUBEXPR_SIZE = 6
+
+
+def deep_report_specs(base):
+    """One subexpression frame over the two distinct-count variants."""
+    from repro.pipeline.grid import DeepSpec, subexpr_deep_config
+
+    return (
+        DeepSpec.from_base(
+            base,
+            estimators=tuple(src for _, src in DEEP_VARIANT_SOURCES),
+            configs=(subexpr_deep_config(DEEP_MAX_SUBEXPR_SIZE),),
+        ),
+    )
+
+
+def from_deep_frames(frames) -> Fig5Result:
+    """Fold stored subexpression observations into the *deep* Figure 5.
+
+    Same measurement as :func:`run` — per-subexpression signed ratios
+    under default vs true distinct counts — folded from persisted rows;
+    byte-identical to :func:`run` on the same grid.
+    """
+    frame = frames[0]
+    ratios: dict[str, dict[int, list[float]]] = {
+        variant: {} for variant, _ in DEEP_VARIANT_SOURCES
+    }
+    for variant, source in DEEP_VARIANT_SOURCES:
+        for row in frame.select(kind="subexpr", estimator=source):
+            joins = popcount(row.subset) - 1
+            ratios[variant].setdefault(joins, []).append(
+                signed_ratio(row.est_card, row.true_card)
+            )
+    percentiles = {
+        variant: {
+            joins: {
+                p: float(np.percentile(np.asarray(vals), p))
+                for p in PERCENTILES
+            }
+            for joins, vals in by_joins.items()
+        }
+        for variant, by_joins in ratios.items()
+    }
+    return Fig5Result(ratios=ratios, percentiles=percentiles)

@@ -169,3 +169,126 @@ def from_frames(frames) -> Fig6Result:
             f"true-cardinality plan ({config})"
         ),
     )
+
+
+# --------------------------------------------------------------------- #
+# deep replay path: simulated runtimes from stored DeepRows
+# --------------------------------------------------------------------- #
+
+
+def _deep_configs():
+    """PK-design runtime configs, one per engine risk scenario."""
+    from repro.experiments.runtime import SCENARIOS, runtime_deep_config
+
+    return tuple(
+        runtime_deep_config(IndexConfig.PK, scenario)
+        for scenario in SCENARIOS.values()
+    )
+
+
+def deep_report_specs(base):
+    """One runtime frame: five estimators + the truth baseline, PK
+    design, all three engine risk scenarios (Section 4.1 + Figure 6)."""
+    from repro.pipeline.grid import TRUE_SOURCE, DeepSpec
+
+    return (
+        DeepSpec.from_base(
+            base,
+            estimators=tuple(ESTIMATOR_ORDER) + (TRUE_SOURCE,),
+            configs=_deep_configs(),
+        ),
+    )
+
+
+def _runtime_by_query(frame, config_name: str, estimator: str):
+    """query -> (sim runtime ms, timed out), in workload order."""
+    return {
+        row.query: (row.sim_runtime_ms, row.timed_out)
+        for row in frame.select(
+            kind="runtime", estimator=estimator, config=config_name
+        )
+    }
+
+
+def deep_slowdowns(
+    frame, config_name: str, estimator: str
+) -> tuple[list[float], int]:
+    """Per-query slowdowns vs the truth plan, plus the timeout count.
+
+    Exactly :meth:`RuntimeRunner.slowdown` replayed from stored rows:
+    the estimator plan's simulated runtime over the true-cardinality
+    plan's, in workload order.
+    """
+    from repro.pipeline.grid import TRUE_SOURCE
+
+    est_rows = _runtime_by_query(frame, config_name, estimator)
+    true_rows = _runtime_by_query(frame, config_name, TRUE_SOURCE)
+    slowdowns: list[float] = []
+    timeouts = 0
+    for query in frame.query_names:
+        if query not in est_rows or query not in true_rows:
+            continue
+        ms, timed_out = est_rows[query]
+        slowdowns.append(ms / max(true_rows[query][0], 1e-9))
+        timeouts += timed_out
+    return slowdowns, timeouts
+
+
+@dataclass
+class Fig6DeepResult:
+    """The Section 4.1 injection table plus the Figure 6a–c ablation."""
+
+    injection: Fig6Result
+    ablation: Fig6Result
+
+    def render(self) -> str:
+        return self.injection.render() + "\n\n" + self.ablation.render()
+
+
+def from_deep_frames(frames) -> Fig6DeepResult:
+    """Fold stored simulated runtimes into the deep Figure 6 artifacts.
+
+    The injection half is :func:`run_injection` (per-estimator slowdown
+    buckets, default engine) and the ablation half is
+    :func:`run_engine_ablation` (PostgreSQL across the three engine
+    scenarios) — both byte-identical to their live counterparts on the
+    same grid, replayed from persisted rows.
+    """
+    from repro.experiments.runtime import SCENARIOS, runtime_deep_config
+
+    frame = frames[0]
+    config_of = {
+        scenario.name: runtime_deep_config(IndexConfig.PK, scenario).name
+        for scenario in SCENARIOS.values()
+    }
+
+    distributions: dict[str, SlowdownDistribution] = {}
+    for name in ESTIMATOR_ORDER:
+        slowdowns, timeouts = deep_slowdowns(
+            frame, config_of["default"], name
+        )
+        distributions[name] = SlowdownDistribution(name, slowdowns, timeouts)
+    injection = Fig6Result(
+        distributions=distributions,
+        title=(
+            f"Section 4.1: slowdown vs true-cardinality plan "
+            f"({IndexConfig.PK.value}, engine=default)"
+        ),
+    )
+
+    ablation_dists: dict[str, SlowdownDistribution] = {}
+    for scenario in SCENARIOS.values():
+        slowdowns, timeouts = deep_slowdowns(
+            frame, config_of[scenario.name], "PostgreSQL"
+        )
+        ablation_dists[scenario.name] = SlowdownDistribution(
+            scenario.name, slowdowns, timeouts
+        )
+    ablation = Fig6Result(
+        distributions=ablation_dists,
+        title=(
+            f"Figure 6: PostgreSQL estimates, {IndexConfig.PK.value}, "
+            "engine risk ablation"
+        ),
+    )
+    return Fig6DeepResult(injection=injection, ablation=ablation)

@@ -125,3 +125,69 @@ def from_frames(frames) -> Fig7ReplayResult:
     return Fig7ReplayResult(
         by_config=by_config, median_slowdown=median_slowdown
     )
+
+
+# --------------------------------------------------------------------- #
+# deep replay path: simulated runtimes from stored DeepRows
+# --------------------------------------------------------------------- #
+
+#: the physical designs the deep artifact compares (the paper's §4.3)
+DEEP_INDEX_CONFIGS = (IndexConfig.PK, IndexConfig.PK_FK)
+
+
+def _deep_configs():
+    from repro.experiments.runtime import SCENARIOS, runtime_deep_config
+
+    scenario = SCENARIOS["no-nlj+rehash"]
+    return tuple(
+        runtime_deep_config(indexes, scenario)
+        for indexes in DEEP_INDEX_CONFIGS
+    )
+
+
+def deep_report_specs(base):
+    """One runtime frame: PostgreSQL estimates + truth baseline on the
+    no-nlj+rehash engine, PK vs PK+FK designs.
+
+    The PK config is content-identical to Figure 6's ``no-nlj+rehash``
+    cells, so a store warmed by ``fig6-deep`` already covers half of
+    this artifact's PostgreSQL/truth rows.
+    """
+    from repro.pipeline.grid import TRUE_SOURCE, DeepSpec
+
+    return (
+        DeepSpec.from_base(
+            base,
+            estimators=("PostgreSQL", TRUE_SOURCE),
+            configs=_deep_configs(),
+        ),
+    )
+
+
+def from_deep_frames(frames) -> Fig7Result:
+    """Fold stored simulated runtimes into the deep Figure 7.
+
+    Byte-identical to :func:`run` on the same grid: per-design slowdowns
+    vs the true-cardinality plan, plus the median absolute runtime each
+    design achieves.
+    """
+    from repro.experiments.fig6 import deep_slowdowns
+
+    frame = frames[0]
+    by_config: dict[IndexConfig, SlowdownDistribution] = {}
+    median_runtime: dict[IndexConfig, float] = {}
+    for indexes, config in zip(DEEP_INDEX_CONFIGS, _deep_configs()):
+        slowdowns, timeouts = deep_slowdowns(
+            frame, config.name, "PostgreSQL"
+        )
+        by_config[indexes] = SlowdownDistribution(
+            indexes.value, slowdowns, timeouts
+        )
+        runtimes = sorted(
+            row.sim_runtime_ms
+            for row in frame.select(
+                kind="runtime", estimator="PostgreSQL", config=config.name
+            )
+        )
+        median_runtime[indexes] = runtimes[len(runtimes) // 2]
+    return Fig7Result(by_config=by_config, median_runtime_ms=median_runtime)

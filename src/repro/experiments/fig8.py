@@ -79,7 +79,11 @@ class Fig8Result:
                 panel.card_source,
                 len(panel.costs),
                 panel.correlation,
-                f"{panel.median_error:.0%}",
+                (
+                    f"{panel.median_error:.0%}"
+                    if panel.median_error == panel.median_error
+                    else "-"  # NaN below the 3-point fit minimum
+                ),
             ]
             for panel in self.panels.values()
         ]
@@ -221,6 +225,80 @@ class Fig8ReplayResult:
             for name, ratio in self.true_cost_vs_standard.items()
         )
         return table + "\n" + extra
+
+
+# --------------------------------------------------------------------- #
+# deep replay path: cost vs simulated runtime from stored DeepRows
+# --------------------------------------------------------------------- #
+
+
+def _deep_configs():
+    """One runtime config per cost model (PK+FK, no-nlj+rehash engine)."""
+    from repro.experiments.runtime import SCENARIOS, runtime_deep_config
+
+    scenario = SCENARIOS["no-nlj+rehash"]
+    return tuple(
+        runtime_deep_config(
+            IndexConfig.PK_FK, scenario, cost_model=model
+        )
+        for model in COST_MODELS
+    )
+
+
+def deep_report_specs(base):
+    """One runtime frame: each cost model plans with PostgreSQL estimates
+    and with true cardinalities; every plan is executed."""
+    from repro.pipeline.grid import TRUE_SOURCE, DeepSpec
+
+    return (
+        DeepSpec.from_base(
+            base,
+            estimators=("PostgreSQL", TRUE_SOURCE),
+            configs=_deep_configs(),
+        ),
+    )
+
+
+def from_deep_frames(frames) -> Fig8Result:
+    """Fold stored simulated runtimes into the deep Figure 8.
+
+    Byte-identical to :func:`run` on the same grid: per panel the
+    model's believed cost (``plan_cost_est``) against the plan's
+    simulated runtime, with the log–log fit quality, plus Section 5.4's
+    geo-mean runtime of each model's true-cardinality plans relative to
+    the standard model's.  Panels with fewer than three points keep NaN
+    fit statistics (rendered as "-") instead of crashing.
+    """
+    frame = frames[0]
+    configs = dict(zip(COST_MODELS, _deep_configs()))
+    panels: dict[tuple[str, str], Panel] = {}
+    runtime_by_model: dict[str, list[float]] = {m: [] for m in COST_MODELS}
+
+    for model_name in COST_MODELS:
+        config = configs[model_name]
+        for source in CARD_SOURCES:
+            panel = Panel(cost_model=model_name, card_source=source)
+            rows = frame.select(
+                kind="runtime", estimator=source, config=config.name
+            )
+            panel.costs = [r.plan_cost_est for r in rows]
+            panel.runtimes_ms = [r.sim_runtime_ms for r in rows]
+            if source == "true":
+                runtime_by_model[model_name].extend(
+                    max(r.sim_runtime_ms, 1e-9) for r in rows
+                )
+            if len(rows) >= 3:
+                panel.fit()
+            panels[(model_name, source)] = panel
+
+    base_runtimes = runtime_by_model["standard"]
+    runtime_vs_standard = {
+        name: geometric_mean(
+            [r / b for r, b in zip(values, base_runtimes)]
+        )
+        for name, values in runtime_by_model.items()
+    }
+    return Fig8Result(panels=panels, runtime_vs_standard=runtime_vs_standard)
 
 
 def from_frames(frames) -> Fig8ReplayResult:

@@ -24,10 +24,13 @@ Each experiment module registers a replay artifact here by exporting
 * ``from_frames(frames) -> result`` — the pure fold from rows to a
   renderable result.
 
-The paper-faithful deep paths (subexpression-level error distributions,
-simulated runtimes, plan-space sampling) remain on each module's
-``run(suite)`` entry point; the replay artifacts are the sweep-row-shaped
-versions of the same findings, derivable from the store alone.
+The paper-faithful *deep* measurements — subexpression-level error
+distributions (Figures 3/5) and injected-estimate simulated runtimes
+(Figures 6–8) — are replayable too: those modules also export
+``deep_report_specs`` + ``from_deep_frames`` over a :class:`DeepFrame`
+of stored :class:`~repro.pipeline.grid.DeepRow`\\ s, registered as the
+``fig3-deep`` … ``fig8-deep`` artifacts and byte-identical to each
+module's live ``run(suite)`` entry point on the same grid.
 """
 
 from __future__ import annotations
@@ -35,9 +38,9 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from repro.pipeline.driver import run_sweep
-from repro.pipeline.grid import SweepRow, SweepSpec
-from repro.pipeline.tasks import decompose
+from repro.pipeline.driver import run_deep_sweep, run_sweep
+from repro.pipeline.grid import DeepRow, DeepSpec, SweepRow, SweepSpec
+from repro.pipeline.tasks import decompose, decompose_deep
 
 
 @dataclass
@@ -134,17 +137,118 @@ def build_frame(
 
 
 # --------------------------------------------------------------------- #
+# deep frames
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class DeepFrame:
+    """Deep rows for one deep spec, in canonical grid order.
+
+    The deep twin of :class:`AnalysisFrame`: the slice of
+    :class:`~repro.pipeline.grid.DeepRow`\\ s one paper-faithful artifact
+    folds from — subexpression error distributions for Figures 3/5,
+    injected-estimate simulated runtimes for Figures 6–8 — materialised
+    by replaying the result store and pricing only the missing deep
+    cells.  ``priced_cells``/``replayed_cells`` count deep *cells* (one
+    cell may own many subexpression rows).
+    """
+
+    spec: DeepSpec
+    rows: tuple[DeepRow, ...]
+    priced_cells: int
+    replayed_cells: int
+    #: per-query relation counts (from workload metadata, no database)
+    n_relations: dict[str, int] = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+
+    def joins(self, query: str) -> int:
+        """Number of joins of a workload query (relations - 1)."""
+        return self.n_relations[query] - 1
+
+    def select(
+        self,
+        kind: str | None = None,
+        query: str | None = None,
+        estimator: str | None = None,
+        config: str | None = None,
+    ) -> list[DeepRow]:
+        """Rows matching the given coordinates, in canonical order."""
+        return [
+            r
+            for r in self.rows
+            if (kind is None or r.kind == kind)
+            and (query is None or r.query == query)
+            and (estimator is None or r.estimator == estimator)
+            and (config is None or r.config == config)
+        ]
+
+    @property
+    def query_names(self) -> list[str]:
+        """Queries present, in canonical workload order."""
+        seen: dict[str, None] = {}
+        for r in self.rows:
+            seen.setdefault(r.query, None)
+        return list(seen)
+
+    @property
+    def estimator_names(self) -> list[str]:
+        return list(self.spec.estimators)
+
+    @property
+    def config_names(self) -> list[str]:
+        return [c.name for c in self.spec.configs]
+
+
+def build_deep_frame(
+    spec: DeepSpec,
+    result_root=None,
+    truth_root=None,
+    processes: int = 1,
+    progress=None,
+) -> DeepFrame:
+    """Materialise a deep spec's rows: replay the store, price the rest.
+
+    Same contract emphasis as :func:`build_frame`: a warm store makes
+    this a pure indexed read — zero database generation, zero deep cell
+    pricing — and either path yields bit-identical rows.
+    """
+    units = decompose_deep(spec)
+    result = run_deep_sweep(
+        spec,
+        processes=processes,
+        truth_root=truth_root,
+        result_root=result_root,
+        progress=progress,
+    )
+    return DeepFrame(
+        spec=spec,
+        rows=tuple(result.rows),
+        priced_cells=result.priced_cells,
+        replayed_cells=result.cached_cells,
+        n_relations={u.query: u.n_relations for u in units},
+    )
+
+
+# --------------------------------------------------------------------- #
 # report registry
 # --------------------------------------------------------------------- #
 
 
 @dataclass(frozen=True)
 class ReportDef:
-    """One replayable artifact: its grid requirements and its fold."""
+    """One replayable artifact: its grid requirements and its fold.
+
+    ``deep`` artifacts request :class:`DeepSpec`\\ s and fold
+    :class:`DeepFrame`\\ s — the paper-faithful measurements — instead of
+    sweep-row reshapings.
+    """
 
     name: str
-    specs: Callable[[SweepSpec], tuple[SweepSpec, ...]]
-    build: Callable[[Sequence[AnalysisFrame]], object]
+    specs: Callable[[SweepSpec], tuple]
+    build: Callable[[Sequence], object]
+    deep: bool = False
 
 
 def _registry() -> dict[str, ReportDef]:
@@ -177,7 +281,7 @@ def _registry() -> dict[str, ReportDef]:
         "table3": table3,
         "ablation": ablation,
     }
-    return {
+    registry = {
         name: ReportDef(
             name=name,
             specs=module.report_specs,
@@ -185,6 +289,26 @@ def _registry() -> dict[str, ReportDef]:
         )
         for name, module in modules.items()
     }
+    # the paper-faithful deep variants: same figures, folded from stored
+    # DeepRows (subexpression ratios, simulated runtimes) instead of
+    # sweep-row reshapings
+    deep_modules = {
+        "fig3-deep": fig3,
+        "fig5-deep": fig5,
+        "fig6-deep": fig6,
+        "fig7-deep": fig7,
+        "fig8-deep": fig8,
+    }
+    registry.update({
+        name: ReportDef(
+            name=name,
+            specs=module.deep_report_specs,
+            build=module.from_deep_frames,
+            deep=True,
+        )
+        for name, module in deep_modules.items()
+    })
+    return registry
 
 
 def available_reports() -> list[str]:
@@ -198,7 +322,7 @@ class ReportRun:
 
     name: str
     text: str
-    frames: tuple[AnalysisFrame, ...]
+    frames: tuple[AnalysisFrame | DeepFrame, ...]
 
     @property
     def priced_cells(self) -> int:
@@ -221,7 +345,8 @@ def run_report(
 
     ``base`` carries the database identity (dataset, scale, seed,
     correlation) and an optional query restriction; the report itself
-    owns its estimator and enumerator-config axes.  Unknown names raise
+    owns its estimator and enumerator-config axes (deep artifacts: their
+    cardinality-source and deep-config axes).  Unknown names raise
     ``KeyError`` listing the registry.
     """
     registry = _registry()
@@ -230,8 +355,9 @@ def run_report(
         raise KeyError(
             f"unknown report {name!r}; choose from {', '.join(registry)}"
         )
+    builder = build_deep_frame if definition.deep else build_frame
     frames = tuple(
-        build_frame(
+        builder(
             spec,
             result_root=result_root,
             truth_root=truth_root,

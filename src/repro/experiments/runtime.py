@@ -48,6 +48,43 @@ SCENARIOS: dict[str, EngineScenario] = {
 }
 
 
+def runtime_deep_config(
+    indexes: IndexConfig,
+    scenario: EngineScenario,
+    cost_model: str = "tuned",
+    work_budget: float | None = None,
+):
+    """The canonical runtime :class:`~repro.pipeline.grid.DeepConfig`.
+
+    Naming is derived from the content (``<indexes>/<scenario>/<cost
+    model>``, plus a ``wb<budget>`` segment for non-default work
+    budgets) so that every figure requesting the same measurement setup
+    fingerprints — and therefore stores and replays — identically: a
+    warm Figure 6 store partially warms Figure 7, whose ``no-nlj+rehash``
+    PK cells it already holds.  Every fingerprinted field is represented
+    in the name, because stored rows carry only the name: two configs
+    that fingerprint differently must never fold under one label.
+    ``cost_model`` is the *planning* model (the runtime experiments
+    isolate cardinality error by planning with the main-memory-tuned
+    model, exactly like :class:`RuntimeRunner`).
+    """
+    from repro.pipeline.grid import DeepConfig
+
+    budget = 0.0 if work_budget is None else work_budget
+    name = f"{indexes.name.lower()}/{scenario.name}/{cost_model}"
+    if budget > 0:
+        name += f"/wb{budget:g}"
+    return DeepConfig(
+        name=name,
+        kind="runtime",
+        indexes=indexes,
+        allow_nlj=scenario.allow_nlj,
+        rehash=scenario.rehash,
+        cost_model=cost_model,
+        work_budget=budget,
+    )
+
+
 class RuntimeRunner:
     """Optimize-with-injected-cards, execute, measure — with caching."""
 

@@ -15,34 +15,54 @@ Module             Provides
                    — the shared-state layer every experiment and the
                    sweep driver build on
 ``grid``           :class:`SweepSpec` / :class:`SweepRow` /
-                   :class:`SweepResult` — the declarative grid
+                   :class:`SweepResult` — the declarative grid — plus
+                   their deep twins :class:`DeepSpec` /
+                   :class:`DeepConfig` / :class:`DeepRow` /
+                   :class:`DeepResult` (subexpression and
+                   simulated-runtime observations)
 ``tasks``          :func:`decompose` → :class:`SweepUnit` /
                    :class:`SweepCell` / :class:`CellKey` — addressable
-                   cells with stable content keys; dataset identity
-``scheduler``      :class:`SweepScheduler` — largest-first ordering,
-                   pool fan-out, canonical row gathering
-``results``        :class:`ResultStore` (persistent priced rows with a
-                   manifest index, ``load_many``/``scan`` batch APIs) +
+                   cells with stable content keys; dataset identity;
+                   :func:`decompose_deep` for the deep grid (deep keys
+                   are disjoint from shallow keys, so neither sweep
+                   kind ever invalidates the other's cache)
+``scheduler``      :class:`SweepScheduler` / :class:`DeepScheduler` —
+                   largest-first ordering, pool fan-out, canonical row
+                   gathering
+``results``        :class:`ResultStore` (persistent priced rows of both
+                   kinds in one versioned per-query file, manifest
+                   index, ``load_many``/``scan`` + deep batch APIs) +
                    :class:`CsvStreamWriter` / :class:`UnitReport`
                    (streaming reports)
 ``index``          :class:`StoreIndex` — flock-disciplined manifest over
-                   a result-store directory with per-file staleness
+                   a result-store directory with per-file staleness and
+                   per-kind row-key sets
 ``aggregate``      :class:`StreamingAggregator` / :func:`aggregate_store`
-                   — incremental workload-level summaries of sweep rows
+                   (+ :class:`DeepStreamingAggregator` /
+                   :func:`aggregate_deep_store`) — incremental
+                   workload-level summaries of stored rows
 ``instrument``     process-local counters behind the warm-path
                    zero-generation / zero-pricing guarantee
-``driver``         :func:`run_sweep` — incremental orchestration
+``driver``         :func:`run_sweep` / :func:`run_deep_sweep` —
+                   incremental orchestration
 ``truthstore``     :class:`TruthStore` — exact counts keyed by
                    ``(dataset, scale, seed, correlation, query name)``
 =================  ===================================================
 """
 
 from repro.pipeline.grid import (
+    DEEP_KINDS,
     DEFAULT_CONFIGS,
+    TRUE_SOURCE,
+    DeepConfig,
+    DeepResult,
+    DeepRow,
+    DeepSpec,
     EnumeratorConfig,
     SweepResult,
     SweepRow,
     SweepSpec,
+    subexpr_deep_config,
 )
 from repro.pipeline.resources import (
     ESTIMATOR_ORDER,
@@ -53,26 +73,47 @@ from repro.pipeline.resources import (
 from repro.pipeline.tasks import (
     DATASETS,
     CellKey,
+    DeepCell,
+    DeepCellKey,
+    DeepUnit,
     SweepCell,
     SweepUnit,
     check_dataset,
     config_fingerprint,
     decompose,
+    decompose_deep,
+    deep_config_fingerprint,
     make_database,
     workload_queries,
     workload_query,
 )
-from repro.pipeline.scheduler import SweepScheduler, gather_rows, order_units
-from repro.pipeline.results import CsvStreamWriter, ResultStore, UnitReport
+from repro.pipeline.scheduler import (
+    DeepScheduler,
+    SweepScheduler,
+    gather_rows,
+    order_units,
+)
+from repro.pipeline.results import (
+    CsvStreamWriter,
+    ResultStore,
+    StoredRows,
+    UnitReport,
+    deep_cell_key,
+)
 from repro.pipeline.index import StoreIndex
 from repro.pipeline.aggregate import (
     AggregateSummary,
+    DeepAggregateSummary,
+    DeepStreamingAggregator,
     StreamingAggregator,
+    aggregate_deep_store,
     aggregate_store,
 )
 from repro.pipeline.driver import (
     build_resources,
     price_cells,
+    price_deep_cells,
+    run_deep_sweep,
     run_sweep,
     sweep_query,
 )
@@ -80,14 +121,27 @@ from repro.pipeline.truthstore import TruthPayload, TruthStore
 
 __all__ = [
     "DATASETS",
+    "DEEP_KINDS",
     "DEFAULT_CONFIGS",
     "ESTIMATOR_ORDER",
+    "TRUE_SOURCE",
     "AggregateSummary",
     "CellKey",
     "CsvStreamWriter",
+    "DeepAggregateSummary",
+    "DeepCell",
+    "DeepCellKey",
+    "DeepConfig",
+    "DeepResult",
+    "DeepRow",
+    "DeepScheduler",
+    "DeepSpec",
+    "DeepStreamingAggregator",
+    "DeepUnit",
     "EnumeratorConfig",
     "QueryWorkspace",
     "ResultStore",
+    "StoredRows",
     "SweepCell",
     "SweepResult",
     "SweepRow",
@@ -100,17 +154,24 @@ __all__ = [
     "TruthStore",
     "UnitReport",
     "WorkloadResources",
+    "aggregate_deep_store",
     "aggregate_store",
     "build_resources",
     "check_dataset",
     "config_fingerprint",
     "decompose",
-    "gather_rows",
+    "decompose_deep",
+    "deep_cell_key",
+    "deep_config_fingerprint",
     "make_database",
+    "gather_rows",
     "order_units",
     "price_cells",
+    "price_deep_cells",
+    "run_deep_sweep",
     "run_sweep",
     "standard_estimators",
+    "subexpr_deep_config",
     "sweep_query",
     "workload_queries",
     "workload_query",

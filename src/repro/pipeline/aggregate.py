@@ -42,7 +42,7 @@ import math
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
-from repro.pipeline.grid import SweepRow
+from repro.pipeline.grid import TRUE_SOURCE, DeepRow, SweepRow
 from repro.pipeline.results import ResultStore, UnitReport
 from repro.util.stats import SLOWDOWN_BUCKETS
 
@@ -485,6 +485,242 @@ class StreamingAggregator:
             for cfg in sorted(self._cfg_n)
         ]
         return estimators, configs
+
+
+# --------------------------------------------------------------------- #
+# deep rows
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class DeepSubexprStats:
+    """Workload-level subexpression estimate quality of one estimator."""
+
+    estimator: str
+    n: int
+    q_error_median: float
+    q_error_p95: float
+    q_error_geo_mean: float
+    #: fraction of subexpressions wrong by >= 10x in either direction
+    frac_wrong_10x: float
+
+
+@dataclass
+class DeepRuntimeStats:
+    """Simulated-runtime slowdowns of one (config, estimator) pair.
+
+    Slowdowns are each query's estimate-plan runtime over its
+    true-cardinality-plan runtime under the same config — the paper's
+    Section 4 metric — so they only exist for estimators whose spec also
+    priced the :data:`~repro.pipeline.grid.TRUE_SOURCE` cells.
+    """
+
+    config: str
+    estimator: str
+    n: int
+    slowdown_median: float
+    slowdown_p95: float
+    frac_slow_2x: float
+    timeouts: int
+
+
+@dataclass
+class DeepAggregateSummary:
+    """One deep sweep's (or store's) folded statistics."""
+
+    n_rows: int
+    n_queries: int
+    subexpr: list[DeepSubexprStats]
+    runtime: list[DeepRuntimeStats]
+    priced_cells: int = 0
+    replayed_cells: int = 0
+    priced_seconds: float = 0.0
+
+    def render(self) -> str:
+        from repro.experiments.report import format_table
+
+        blocks: list[str] = []
+        if self.subexpr:
+            blocks.append(format_table(
+                ["estimator", "n", "q-err med", "q-err p95", "q-err geo",
+                 ">=10x wrong"],
+                [
+                    [
+                        s.estimator,
+                        s.n,
+                        s.q_error_median,
+                        s.q_error_p95,
+                        s.q_error_geo_mean,
+                        f"{s.frac_wrong_10x:.1%}",
+                    ]
+                    for s in self.subexpr
+                ],
+                title=(
+                    f"Deep aggregate (subexpressions): {self.n_rows} rows "
+                    f"over {self.n_queries} queries"
+                ),
+            ))
+        if self.runtime:
+            blocks.append(format_table(
+                ["config", "estimator", "n", "slow med", "slow p95",
+                 ">=2x", "timeouts"],
+                [
+                    [
+                        s.config,
+                        s.estimator,
+                        s.n,
+                        s.slowdown_median,
+                        s.slowdown_p95,
+                        f"{s.frac_slow_2x:.1%}",
+                        s.timeouts,
+                    ]
+                    for s in self.runtime
+                ],
+                title="Deep aggregate (simulated runtimes)",
+            ))
+        if not blocks:
+            blocks.append("Deep aggregate: no deep rows")
+        if self.priced_cells or self.replayed_cells:
+            blocks.append(
+                f"priced {self.priced_cells} deep cells in "
+                f"{self.priced_seconds:.2f}s, "
+                f"replayed {self.replayed_cells}"
+            )
+        return "\n\n".join(blocks)
+
+
+class DeepStreamingAggregator:
+    """Fold deep rows into workload-level summaries, incrementally.
+
+    The deep twin of :class:`StreamingAggregator`, exact mode only: one
+    scalar record is retained per row, keyed by the row's full identity,
+    and :meth:`summary` folds the records in sorted key order — so the
+    arrival order (pooled, resumed, shuffled) cannot leak into the
+    summary, which is bit-identical to a batch fold of the same rows.
+    Usable directly as a ``run_deep_sweep(progress=...)`` callback.
+    """
+
+    def __init__(self) -> None:
+        self.n_rows = 0
+        self.priced_cells = 0
+        self.replayed_cells = 0
+        self.priced_seconds = 0.0
+        self._queries: set[str] = set()
+        # (query, estimator, config, subset) -> q-error
+        self._subexpr: dict[tuple[str, str, str, int], float] = {}
+        # (config, query, estimator) -> (sim_runtime_ms, timed_out)
+        self._runtime: dict[tuple[str, str, str], tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, row: DeepRow) -> None:
+        self.n_rows += 1
+        self._queries.add(row.query)
+        if row.kind == "subexpr":
+            est, tru = max(row.est_card, 1.0), max(row.true_card, 1.0)
+            self._subexpr[
+                (row.query, row.estimator, row.config, row.subset)
+            ] = max(est / tru, tru / est)
+        else:
+            self._runtime[(row.config, row.query, row.estimator)] = (
+                row.sim_runtime_ms, row.timed_out
+            )
+
+    def add_many(self, rows: Iterable[DeepRow]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def on_report(self, report: UnitReport) -> None:
+        """Consume one deep-sweep progress event (rows + throughput)."""
+        self.add_many(report.rows)
+        self.priced_seconds += report.unit_seconds
+        self.priced_cells += report.priced
+        self.replayed_cells += report.cached
+
+    __call__ = on_report
+
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> DeepAggregateSummary:
+        by_est: dict[str, list[float]] = {}
+        for key in sorted(self._subexpr):
+            by_est.setdefault(key[1], []).append(self._subexpr[key])
+        subexpr = []
+        for est in sorted(by_est):
+            q_errors = sorted(by_est[est])
+            subexpr.append(DeepSubexprStats(
+                estimator=est,
+                n=len(q_errors),
+                q_error_median=_exact_quantile(q_errors, 0.5),
+                q_error_p95=_exact_quantile(q_errors, 0.95),
+                q_error_geo_mean=_geo_mean_exact(q_errors),
+                frac_wrong_10x=(
+                    sum(q >= 10.0 for q in q_errors) / len(q_errors)
+                ),
+            ))
+        # pair each estimator's runtime with the truth plan's under the
+        # same (config, query); estimators without a truth counterpart
+        # cannot report a slowdown and are skipped
+        slowdowns: dict[tuple[str, str], list[float]] = {}
+        timeouts: dict[tuple[str, str], int] = {}
+        for config, query, estimator in sorted(self._runtime):
+            if estimator == TRUE_SOURCE:
+                continue
+            true_record = self._runtime.get((config, query, TRUE_SOURCE))
+            if true_record is None:
+                continue
+            ms, timed_out = self._runtime[(config, query, estimator)]
+            key = (config, estimator)
+            slowdowns.setdefault(key, []).append(
+                ms / max(true_record[0], 1e-9)
+            )
+            timeouts[key] = timeouts.get(key, 0) + timed_out
+        runtime = []
+        for config, estimator in sorted(slowdowns):
+            values = sorted(slowdowns[(config, estimator)])
+            runtime.append(DeepRuntimeStats(
+                config=config,
+                estimator=estimator,
+                n=len(values),
+                slowdown_median=_exact_quantile(values, 0.5),
+                slowdown_p95=_exact_quantile(values, 0.95),
+                frac_slow_2x=(
+                    sum(s >= 2.0 for s in values) / len(values)
+                ),
+                timeouts=timeouts[(config, estimator)],
+            ))
+        return DeepAggregateSummary(
+            n_rows=self.n_rows,
+            n_queries=len(self._queries),
+            subexpr=subexpr,
+            runtime=runtime,
+            priced_cells=self.priced_cells,
+            replayed_cells=self.replayed_cells,
+            priced_seconds=self.priced_seconds,
+        )
+
+
+def aggregate_deep_store(
+    store: ResultStore,
+    predicate: Callable[[DeepRow], bool] | None = None,
+) -> DeepAggregateSummary:
+    """Batch-fold every stored deep row of a result store into a summary.
+
+    Deterministic for the same reason :func:`aggregate_store` is: the
+    scan order is canonical and the fold summarises retained records in
+    sorted key order, so it is bit-identical to a streaming fold of the
+    same rows in any arrival order.
+    """
+    aggregator = DeepStreamingAggregator()
+    # replayed_cells counts deep *cells* (like the streaming fold's
+    # UnitReport accounting), not rows — one subexpression cell owns
+    # many rows
+    cells: set[tuple[str, str, str, str]] = set()
+    for row in store.scan_deep(predicate):
+        aggregator.add(row)
+        cells.add((row.query, row.kind, row.estimator, row.config))
+    aggregator.replayed_cells = len(cells)
+    return aggregator.summary()
 
 
 def aggregate_store(

@@ -30,14 +30,35 @@ from pathlib import Path
 from repro.cardinality.qerror import q_error
 from repro.cost.base import plan_cost
 from repro.enumeration.dp import DPEnumerator
-from repro.pipeline.grid import SweepResult, SweepRow, SweepSpec
+from repro.pipeline.grid import (
+    TRUE_SOURCE,
+    DeepResult,
+    DeepRow,
+    DeepSpec,
+    SweepResult,
+    SweepRow,
+    SweepSpec,
+)
 from repro.pipeline.resources import QueryWorkspace, WorkloadResources
-from repro.pipeline.results import CsvStreamWriter, ResultStore, UnitReport
-from repro.pipeline.scheduler import SweepScheduler, gather_rows
+from repro.pipeline.results import (
+    CsvStreamWriter,
+    ResultStore,
+    UnitReport,
+    deep_cell_key,
+)
+from repro.pipeline.scheduler import (
+    DeepScheduler,
+    SweepScheduler,
+    gather_rows,
+)
 from repro.pipeline.tasks import (
+    DeepCell,
+    DeepUnit,
     SweepCell,
     SweepUnit,
     decompose,
+    decompose_deep,
+    deep_config_fingerprint,
     make_database,
     spec_queries,
 )
@@ -46,7 +67,7 @@ from repro.query.query import Query
 
 
 def build_resources(
-    spec: SweepSpec, truth_root: str | Path | None = None
+    spec: SweepSpec | DeepSpec, truth_root: str | Path | None = None
 ) -> WorkloadResources:
     """Deterministically build the workload a spec describes."""
     db = make_database(
@@ -145,6 +166,147 @@ def sweep_query(
         for e_index in range(len(spec.estimators))
     )
     return price_cells(resources, query, spec, pairs)
+
+
+# --------------------------------------------------------------------- #
+# deep pricing
+# --------------------------------------------------------------------- #
+
+
+def _deep_card(ws: QueryWorkspace, estimator: str):
+    """The cardinality source a deep cell names (truth or an estimator)."""
+    return ws.true_card if estimator == TRUE_SOURCE else ws.card(estimator)
+
+
+def price_deep_cells(
+    resources: WorkloadResources,
+    query: Query,
+    spec: DeepSpec,
+    pairs: tuple[tuple[int, int], ...],
+) -> dict[str, tuple[DeepRow, ...]]:
+    """Price a subset of one query's deep measurement cells.
+
+    ``pairs`` are ``(config index, estimator index)`` coordinates into
+    the deep spec.  Returns each cell's *complete* row tuple keyed by
+    its :func:`~repro.pipeline.results.deep_cell_key`, in canonical
+    order (config → estimator, both in spec order; subexpression rows
+    in :func:`~repro.query.subgraphs.connected_subsets` order — size
+    then bitset value).
+
+    ``"subexpr"`` cells record one (true count, estimate) observation
+    per connected subexpression up to the config's size cap — exactly
+    the measurements Figures 3/5 summarise.  ``"runtime"`` cells plan
+    with the injected cardinality source, recost the chosen plan with
+    truth, and execute it on the simulated engine under the config's
+    risk knobs — the Figure 6–8 methodology.  Both reuse the query
+    workspace (one catalog, one truth materialisation, one bound card
+    per source), exactly like shallow pricing.
+    """
+    from repro.query.subgraphs import connected_subsets
+
+    wanted = set(pairs)
+    if not wanted:
+        return {}
+    from repro.pipeline.instrument import COUNTERS
+
+    COUNTERS.deep_cells_priced += len(wanted)
+    ws: QueryWorkspace = resources.workspace(query)
+
+    # materialise the widest truth any wanted cell needs, once: runtime
+    # cells recost whole plans (full coverage), capped subexpr cells only
+    # need counts up to their cap
+    caps: list[int] = []
+    need_full = False
+    for c_index in {c for (c, _) in wanted}:
+        config = spec.configs[c_index]
+        if config.kind == "runtime" or config.max_subexpr_size <= 0:
+            need_full = True
+        else:
+            caps.append(config.max_subexpr_size)
+    truth_cap = None if need_full or not caps else max(caps)
+    ws.compute_truth(max_size=truth_cap, processes=spec.oracle_processes)
+    tcard = ws.true_card
+
+    cells: dict[str, tuple[DeepRow, ...]] = {}
+    for c_index, config in enumerate(spec.configs):
+        estimator_indices = [
+            e_index
+            for e_index in range(len(spec.estimators))
+            if (c_index, e_index) in wanted
+        ]
+        if not estimator_indices:
+            continue
+        fp = deep_config_fingerprint(config)
+        if config.kind == "subexpr":
+            cap = (
+                config.max_subexpr_size
+                if config.max_subexpr_size > 0
+                else None
+            )
+            subsets = connected_subsets(ws.graph, max_size=cap)
+            for e_index in estimator_indices:
+                estimator = spec.estimators[e_index]
+                card = _deep_card(ws, estimator)
+                cells[deep_cell_key(config.kind, estimator, fp)] = tuple(
+                    DeepRow(
+                        kind="subexpr",
+                        query=query.name,
+                        estimator=estimator,
+                        config=config.name,
+                        subset=subset,
+                        true_card=float(tcard(subset)),
+                        est_card=float(card(subset)),
+                    )
+                    for subset in subsets
+                )
+        else:  # runtime
+            from repro.errors import WorkBudgetExceeded
+            from repro.execution import (
+                EngineConfig,
+                ExecutionContext,
+                execute_plan,
+            )
+            from repro.execution.context import WORK_UNITS_PER_MS
+
+            cost_model = resources.cost_model(config.cost_model)
+            design = resources.design(config.indexes)
+            dp = DPEnumerator(
+                cost_model, design, allow_nlj=config.allow_nlj
+            )
+            engine_cfg = (
+                EngineConfig(rehash=config.rehash)
+                if config.work_budget <= 0
+                else EngineConfig(
+                    rehash=config.rehash, work_budget=config.work_budget
+                )
+            )
+            for e_index in estimator_indices:
+                estimator = spec.estimators[e_index]
+                card = _deep_card(ws, estimator)
+                plan, est_cost = dp.optimize(ws.context, card)
+                true_cost = plan_cost(plan, cost_model, tcard)
+                ctx = ExecutionContext(resources.db, design, engine_cfg)
+                try:
+                    ms = execute_plan(plan, query, ctx).simulated_ms
+                    timed_out = 0
+                except WorkBudgetExceeded:
+                    ms = engine_cfg.work_budget / WORK_UNITS_PER_MS
+                    timed_out = 1
+                cells[deep_cell_key(config.kind, estimator, fp)] = (
+                    DeepRow(
+                        kind="runtime",
+                        query=query.name,
+                        estimator=estimator,
+                        config=config.name,
+                        plan_cost_true=true_cost,
+                        plan_cost_est=est_cost,
+                        sim_runtime_ms=ms,
+                        timed_out=timed_out,
+                    ),
+                )
+    ws.save_truth()
+    ws.release()
+    return cells
 
 
 # --------------------------------------------------------------------- #
@@ -335,6 +497,170 @@ def run_sweep(
             # caller-provided resources object keeps its warm pool)
             scheduler.resources.truth.close()
     return SweepResult(
+        spec=spec,
+        rows=all_rows,
+        priced_cells=n_priced,
+        cached_cells=n_cached,
+    )
+
+
+def _deep_cell_store_key(cell: DeepCell) -> str:
+    return deep_cell_key(
+        cell.key.kind, cell.key.estimator, cell.key.config_fingerprint
+    )
+
+
+def run_deep_sweep(
+    spec: DeepSpec,
+    processes: int = 1,
+    truth_root: str | Path | None = None,
+    resources: WorkloadResources | None = None,
+    result_root: str | Path | None = None,
+    resume: bool = True,
+    progress=None,
+) -> DeepResult:
+    """Run the deep measurement grid incrementally.
+
+    The deep twin of :func:`run_sweep`, under the same contract: with
+    ``result_root`` pointing at a warm store the whole grid replays from
+    disk — zero database generation, zero pricing — and a changed spec
+    re-prices exactly the cells whose content key changed.  Deep cells
+    live in the same per-query files as sweep rows but have their own
+    identity (:class:`~repro.pipeline.tasks.DeepCellKey`), so deep and
+    shallow sweeps warm each other's truth cache without ever
+    invalidating each other's rows.  Rows come back in canonical grid
+    order, bit-identical across sequential, pooled, and resumed runs.
+    """
+    if resources is not None and truth_root is not None:
+        raise ValueError(
+            "pass either truth_root or a resources object carrying its own "
+            "truth_store, not both"
+        )
+    if resources is not None and processes > 1:
+        raise ValueError(
+            "a prebuilt resources object cannot cross process boundaries; "
+            "use processes=1 or let workers rebuild from the spec"
+        )
+
+    units = decompose_deep(spec)
+    store = (
+        ResultStore.for_spec(result_root, spec)
+        if result_root is not None
+        else None
+    )
+
+    rows_by_cell: dict[tuple[str, str], tuple[DeepRow, ...]] = {}
+    cached_cells: dict[str, list[DeepCell]] = {u.query: [] for u in units}
+    pending_units: list[DeepUnit] = []
+    stored_cells = (
+        store.load_many_deep([u.query for u in units])
+        if store is not None and resume
+        else {}
+    )
+    for unit in units:
+        pending: list[DeepCell] = []
+        stored = stored_cells.get(unit.query, {})
+        for cell in unit.cells:
+            rows = stored.get(_deep_cell_store_key(cell))
+            if rows is not None:
+                rows_by_cell[(unit.query, _deep_cell_store_key(cell))] = rows
+                cached_cells[unit.query].append(cell)
+            else:
+                pending.append(cell)
+        if pending:
+            pending_units.append(
+                DeepUnit(
+                    query=unit.query,
+                    n_relations=unit.n_relations,
+                    workload_index=unit.workload_index,
+                    cells=tuple(pending),
+                )
+            )
+
+    n_cached = sum(len(cells) for cells in cached_cells.values())
+    n_priced = sum(len(u.cells) for u in pending_units)
+    from repro.pipeline.instrument import COUNTERS
+
+    COUNTERS.rows_replayed += sum(
+        len(rows) for rows in rows_by_cell.values()
+    )
+    total_units = len(units)
+    scheduler: DeepScheduler | None = None
+    completed = 0
+
+    def _unit_rows(unit: DeepUnit) -> tuple[DeepRow, ...]:
+        rows: list[DeepRow] = []
+        for cell in unit.cells:
+            rows.extend(
+                rows_by_cell.get(
+                    (unit.query, _deep_cell_store_key(cell)), ()
+                )
+            )
+        return tuple(rows)
+
+    def _report(
+        query: str, priced: int, cached: int, unit_rows, unit_seconds: float
+    ) -> None:
+        if progress is not None:
+            progress(
+                UnitReport(
+                    query=query,
+                    index=completed,
+                    total=total_units,
+                    priced=priced,
+                    cached=cached,
+                    unit_seconds=unit_seconds,
+                    rows=tuple(unit_rows),
+                )
+            )
+
+    try:
+        pending_names = {u.query for u in pending_units}
+        full_units = {u.query: u for u in units}
+        for unit in units:
+            if unit.query in pending_names:
+                continue
+            completed += 1
+            _report(unit.query, 0, len(unit.cells), _unit_rows(unit), 0.0)
+
+        def _on_complete(
+            unit: DeepUnit,
+            priced_cells: dict[str, tuple[DeepRow, ...]],
+            seconds: float,
+        ) -> None:
+            nonlocal completed
+            completed += 1
+            for cell_key, rows in priced_cells.items():
+                rows_by_cell[(unit.query, cell_key)] = rows
+            if store is not None:
+                store.save_deep(unit.query, priced_cells)
+            _report(
+                unit.query,
+                len(priced_cells),
+                len(cached_cells[unit.query]),
+                _unit_rows(full_units[unit.query]),
+                seconds,
+            )
+
+        scheduler = DeepScheduler(
+            spec,
+            processes=processes,
+            truth_root=truth_root,
+            resources=resources,
+        )
+        scheduler.run(pending_units, _on_complete)
+    finally:
+        if (
+            resources is None
+            and scheduler is not None
+            and scheduler.resources is not None
+        ):
+            scheduler.resources.truth.close()
+
+    all_rows: list[DeepRow] = []
+    for unit in units:
+        all_rows.extend(_unit_rows(unit))
+    return DeepResult(
         spec=spec,
         rows=all_rows,
         priced_cells=n_priced,

@@ -85,6 +85,155 @@ class SweepSpec:
     oracle_processes: int = 1
 
 
+# --------------------------------------------------------------------- #
+# deep measurements
+# --------------------------------------------------------------------- #
+
+#: the two deep observation kinds the result store persists
+DEEP_KINDS = ("subexpr", "runtime")
+
+#: estimator name denoting the truth oracle as a cardinality source in
+#: deep runtime cells (the paper's "true cardinalities" injections)
+TRUE_SOURCE = "true"
+
+
+@dataclass(frozen=True)
+class DeepConfig:
+    """One configuration of the *deep* measurement grid.
+
+    The paper's headline figures are deep measurements: per-subexpression
+    estimate/truth ratios (Figures 3/5) and injected-estimate simulated
+    runtimes (Figures 6–8).  A :class:`DeepConfig` names one such
+    measurement setup the way an :class:`EnumeratorConfig` names one
+    optimizer setup — declaratively and picklably, with every field part
+    of the cell fingerprint.
+
+    ``kind`` selects which knobs matter: ``"subexpr"`` cells enumerate
+    connected subexpressions up to ``max_subexpr_size`` (0 = no cap);
+    ``"runtime"`` cells plan with ``cost_model`` under the engine risk
+    knobs (``allow_nlj``, ``rehash`` — Section 4.1's scenarios) on the
+    ``indexes`` design and execute the plan (``work_budget`` 0 = the
+    engine's default timeout).  Unused knobs keep their defaults so
+    equal setups fingerprint equal across artifacts — a warm Figure 6
+    store partially warms Figure 7.
+    """
+
+    name: str
+    kind: str
+    # subexpr knob
+    max_subexpr_size: int = 0
+    # runtime knobs
+    indexes: IndexConfig = IndexConfig.PK
+    allow_nlj: bool = True
+    rehash: bool = False
+    cost_model: str = "tuned"
+    work_budget: float = 0.0
+
+
+def subexpr_deep_config(max_subexpr_size: int = 0) -> DeepConfig:
+    """The canonical subexpression-enumeration config (Figures 3/5).
+
+    A shared canonical name means every artifact that enumerates the
+    same subexpression cap shares the same fingerprint — and therefore
+    the same stored rows.
+    """
+    return DeepConfig(
+        name=f"subexpr{max_subexpr_size or 'full'}",
+        kind="subexpr",
+        max_subexpr_size=max_subexpr_size,
+    )
+
+
+@dataclass(frozen=True)
+class DeepSpec:
+    """A fully deterministic description of one deep sweep.
+
+    Field names deliberately mirror :class:`SweepSpec` (the database
+    identity half is shared verbatim) so the resource builder, the
+    result store, and the workload helpers serve both spec kinds.
+    ``estimators`` are cardinality *sources*: the registry names plus
+    :data:`TRUE_SOURCE` for the truth oracle (runtime cells compare
+    injected estimates against the true-cardinality plan).
+    """
+
+    scale: str = "tiny"
+    seed: int = 42
+    correlation: float = 0.8
+    query_names: tuple[str, ...] | None = None
+    estimators: tuple[str, ...] = tuple(ESTIMATOR_ORDER)
+    configs: tuple[DeepConfig, ...] = ()
+    dataset: str = "imdb"
+    oracle_processes: int = 1
+
+    @classmethod
+    def from_base(
+        cls,
+        base: "SweepSpec",
+        estimators: tuple[str, ...],
+        configs: tuple[DeepConfig, ...],
+    ) -> "DeepSpec":
+        """A deep spec inheriting a shallow spec's database identity."""
+        return cls(
+            scale=base.scale,
+            seed=base.seed,
+            correlation=base.correlation,
+            query_names=base.query_names,
+            estimators=estimators,
+            configs=configs,
+            dataset=base.dataset,
+            oracle_processes=base.oracle_processes,
+        )
+
+
+@dataclass(frozen=True)
+class DeepRow:
+    """One deep observation of the paper's figure-grade measurements.
+
+    ``kind == "subexpr"``: one connected subexpression of ``query`` —
+    ``subset`` is its canonical relation bitset, ``true_card`` the exact
+    count and ``est_card`` the estimator's belief (Figures 3/5 fold
+    signed ratios from these).
+
+    ``kind == "runtime"``: one injected-estimate optimizer+engine run —
+    ``plan_cost_est`` is the cost the planner believed (under the
+    injected cardinalities), ``plan_cost_true`` the chosen plan recosted
+    with true cardinalities, ``sim_runtime_ms`` the simulated execution
+    time, and ``timed_out`` flags a work-budget abort (Figures 6–8 fold
+    slowdowns and cost-vs-runtime fits from these).
+
+    Unused fields hold their zero defaults; every float survives the
+    JSON store round trip bit-exactly.
+    """
+
+    kind: str
+    query: str
+    estimator: str
+    config: str
+    subset: int = 0
+    true_card: float = 0.0
+    est_card: float = 0.0
+    plan_cost_true: float = 0.0
+    plan_cost_est: float = 0.0
+    sim_runtime_ms: float = 0.0
+    timed_out: int = 0
+
+
+@dataclass
+class DeepResult:
+    """All deep rows of one deep sweep, in deterministic grid order.
+
+    ``priced_cells`` / ``cached_cells`` count *cells* (one cell = one
+    (query × estimator × deep-config) measurement, which may own many
+    subexpression rows); an identical-spec re-run reports
+    ``priced_cells == 0``.
+    """
+
+    spec: DeepSpec
+    rows: list[DeepRow] = field(default_factory=list)
+    priced_cells: int = 0
+    cached_cells: int = 0
+
+
 @dataclass(frozen=True)
 class SweepRow:
     """One (query × estimator × config) cell of the sweep.

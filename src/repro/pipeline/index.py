@@ -37,7 +37,10 @@ from repro.pipeline.truthstore import atomic_write_json, locked
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.pipeline.results import ResultStore
 
-_INDEX_VERSION = 1
+#: version 2 adds per-kind row-key sets (``deep_keys``/``deep_count``);
+#: a version-1 manifest is simply rebuilt from the row files — the row
+#: files, not the manifest, are the source of truth
+_INDEX_VERSION = 2
 
 #: manifest filename; dot-prefixed so per-query globs can skip it
 INDEX_FILENAME = ".index.json"
@@ -95,7 +98,7 @@ class StoreIndex:
         entries, _ = self.refresh_with_rows()
         return entries
 
-    def refresh_with_rows(self) -> tuple[dict[str, dict], dict[str, dict]]:
+    def refresh_with_rows(self) -> tuple[dict[str, dict], dict[str, "object"]]:
         """Refresh the manifest; also return rows parsed while rebuilding.
 
         Fresh entries (matching ``mtime_ns`` and ``size``) are served
@@ -105,9 +108,11 @@ class StoreIndex:
         changed.
 
         Rebuilding an entry costs a full parse of its row file — the
-        second return value hands those already-parsed rows back so
-        ``load_many``/``scan`` can serve them without parsing (or
-        drop-counting malformed rows) a second time.
+        second return value hands the already-parsed
+        :class:`~repro.pipeline.results.StoredRows` back so
+        ``load_many``/``scan`` (and their deep counterparts) can serve
+        them without parsing (or drop-counting malformed rows) a second
+        time.
         """
         directory = self.store.directory
         if not directory.is_dir():
@@ -118,7 +123,7 @@ class StoreIndex:
             else self._read_manifest()
         )
         entries: dict[str, dict] = {}
-        parsed_rows: dict[str, dict] = {}
+        parsed_rows: dict[str, object] = {}
         changed = False
         for path in sorted(directory.glob("*.json")):
             if path.name.startswith("."):
@@ -136,14 +141,18 @@ class StoreIndex:
             ):
                 entries[query] = old
                 continue
-            rows = self.store.load(query)
-            parsed_rows[query] = rows
+            stored = self.store.load_all(query)
+            parsed_rows[query] = stored
             entries[query] = {
                 "file": path.name,
                 "mtime_ns": stat.st_mtime_ns,
                 "size": stat.st_size,
-                "row_count": len(rows),
-                "keys": sorted(row_key(e, f) for (e, f) in rows),
+                "row_count": len(stored.rows),
+                "keys": sorted(row_key(e, f) for (e, f) in stored.rows),
+                "deep_count": sum(
+                    len(rows) for rows in stored.deep.values()
+                ),
+                "deep_keys": sorted(stored.deep),
             }
             self.rebuilt_entries += 1
             changed = True
@@ -172,6 +181,16 @@ class StoreIndex:
         entry = self.refresh().get(query)
         return entry is not None and row_key(estimator, fingerprint) in entry["keys"]
 
+    def deep_keys(self, query: str) -> tuple[str, ...]:
+        """Deep cell keys stored for ``query`` (empty if none)."""
+        entry = self.refresh().get(query)
+        return tuple(entry.get("deep_keys", ())) if entry else ()
+
+    def lookup_deep(self, query: str, cell_key: str) -> bool:
+        """Does the store hold this complete deep cell (per the manifest)?"""
+        entry = self.refresh().get(query)
+        return entry is not None and cell_key in entry.get("deep_keys", ())
+
     def invalidate(self) -> None:
         """Drop the in-memory manifest; the next read re-stats everything.
 
@@ -182,5 +201,9 @@ class StoreIndex:
         self._entries = None
 
     def total_rows(self) -> int:
-        """Total stored rows across the directory, from the manifest."""
+        """Total stored sweep rows across the directory, from the manifest."""
         return sum(e["row_count"] for e in self.refresh().values())
+
+    def total_deep_rows(self) -> int:
+        """Total stored deep rows across the directory, from the manifest."""
+        return sum(e.get("deep_count", 0) for e in self.refresh().values())

@@ -26,12 +26,16 @@ class Counters:
     db_generations: int = 0
     cells_priced: int = 0
     rows_replayed: int = 0
+    deep_cells_priced: int = 0
 
     def __sub__(self, other: "Counters") -> "Counters":
         return Counters(
             db_generations=self.db_generations - other.db_generations,
             cells_priced=self.cells_priced - other.cells_priced,
             rows_replayed=self.rows_replayed - other.rows_replayed,
+            deep_cells_priced=(
+                self.deep_cells_priced - other.deep_cells_priced
+            ),
         )
 
 
@@ -45,4 +49,5 @@ def snapshot() -> Counters:
         db_generations=COUNTERS.db_generations,
         cells_priced=COUNTERS.cells_priced,
         rows_replayed=COUNTERS.rows_replayed,
+        deep_cells_priced=COUNTERS.deep_cells_priced,
     )

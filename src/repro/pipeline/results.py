@@ -12,6 +12,17 @@ per-query remainder of the cell's
 spec replays every cell from disk and a changed spec recomputes exactly
 the cells whose identity changed.
 
+Since format version 2 the same per-query file also carries the *deep*
+row kind (:class:`~repro.pipeline.grid.DeepRow`): subexpression-level
+observations and simulated-runtime observations, grouped into complete
+cells keyed by ``kind|estimator|deep-config-fingerprint``
+(:func:`deep_cell_key`).  A deep cell is the replay unit — either all
+of its rows are present or the cell is re-priced — and deep identity is
+disjoint from shallow identity, so the two sweep kinds share files and
+truth caches without ever invalidating each other.  Version-1 files
+stay readable (they simply hold no deep cells) and are upgraded in
+place on their next save.
+
 Floats survive the JSON round trip exactly (``json`` serialises via
 ``repr``), so replayed rows are bit-identical to freshly priced ones —
 including in CSV output.
@@ -40,15 +51,19 @@ import os
 import tempfile
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import asdict, dataclass, fields
+from dataclasses import field as dataclass_field
 from pathlib import Path
 
-from repro.pipeline.grid import SweepRow, SweepSpec
+from repro.pipeline.grid import DeepRow, DeepSpec, SweepRow, SweepSpec
 from repro.pipeline.index import StoreIndex
 from repro.pipeline.truthstore import atomic_write_json, db_key, locked
 
 log = logging.getLogger(__name__)
 
-_FORMAT_VERSION = 1
+#: the version this store writes; version-1 files (sweep rows only, no
+#: per-kind index) remain readable — they simply hold no deep cells
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 #: SweepRow field names, in dataclass (= CSV column) order
 ROW_FIELDS = tuple(f.name for f in fields(SweepRow))
@@ -57,9 +72,55 @@ _FLOAT_FIELDS = tuple(
     f.name for f in fields(SweepRow) if f.type in ("float", float)
 )
 
+#: DeepRow field names, in dataclass order
+DEEP_ROW_FIELDS = tuple(f.name for f in fields(DeepRow))
+
+_DEEP_FLOAT_FIELDS = frozenset(
+    f.name for f in fields(DeepRow) if f.type in ("float", float)
+)
+_DEEP_INT_FIELDS = frozenset(
+    f.name for f in fields(DeepRow) if f.type in ("int", int)
+)
+
 
 def _row_key(estimator: str, config_fingerprint: str) -> str:
     return f"{estimator}|{config_fingerprint}"
+
+
+def deep_cell_key(kind: str, estimator: str, config_fingerprint: str) -> str:
+    """The store's (and manifest's) key of one deep measurement cell."""
+    return f"{kind}|{estimator}|{config_fingerprint}"
+
+
+def _parse_deep_row(payload: dict) -> DeepRow:
+    return DeepRow(**{
+        name: (
+            float(payload[name]) if name in _DEEP_FLOAT_FIELDS
+            else int(payload[name]) if name in _DEEP_INT_FIELDS
+            else str(payload[name])
+        )
+        for name in DEEP_ROW_FIELDS
+    })
+
+
+@dataclass
+class StoredRows:
+    """Everything one per-query result file holds, parsed once.
+
+    ``rows`` are the shallow sweep cells keyed by ``(estimator,
+    fingerprint)``; ``deep`` maps a deep cell key (see
+    :func:`deep_cell_key`) to the cell's *complete* row tuple — a deep
+    cell is the unit of replay, so a cell is either entirely present or
+    entirely absent (a malformed row invalidates its whole cell, which
+    the next deep sweep re-prices).
+    """
+
+    rows: dict[tuple[str, str], SweepRow] = dataclass_field(
+        default_factory=dict
+    )
+    deep: dict[str, tuple[DeepRow, ...]] = dataclass_field(
+        default_factory=dict
+    )
 
 
 class ResultStore:
@@ -85,9 +146,13 @@ class ResultStore:
             / "results"
         )
         self._index: StoreIndex | None = None
-        #: malformed rows skipped by :meth:`load` over this instance's
-        #: lifetime (each one is also logged at WARNING)
+        #: malformed sweep rows skipped by :meth:`load` over this
+        #: instance's lifetime (each one is also logged at WARNING)
         self.dropped_rows = 0
+        #: deep cells invalidated by a malformed deep row (cell-wise:
+        #: a deep cell is the replay unit, so one bad row drops — and
+        #: re-prices — exactly its cell)
+        self.dropped_deep_cells = 0
 
     @property
     def index(self) -> StoreIndex:
@@ -97,7 +162,9 @@ class ResultStore:
         return self._index
 
     @classmethod
-    def for_spec(cls, root: str | Path, spec: SweepSpec) -> "ResultStore":
+    def for_spec(
+        cls, root: str | Path, spec: SweepSpec | DeepSpec
+    ) -> "ResultStore":
         return cls(
             root,
             spec.scale,
@@ -111,23 +178,33 @@ class ResultStore:
 
     # ------------------------------------------------------------------ #
 
-    def load(self, query_name: str) -> dict[tuple[str, str], SweepRow]:
-        """Stored rows for one query, keyed by (estimator, fingerprint).
+    def load_all(self, query_name: str) -> StoredRows:
+        """Everything stored for one query — both row kinds, parsed once.
 
-        Corrupt, incompatible, or missing files read as empty, and a
-        malformed *row* drops only itself: the remaining rows of the file
-        still replay, the sweep re-prices exactly the dropped cells, and
-        every drop is counted (:attr:`dropped_rows`) and logged.
+        Corrupt, incompatible, or missing files read as empty.  A
+        malformed *sweep row* drops only itself; a malformed *deep row*
+        drops its whole cell (the cell is the deep replay unit).  Either
+        way the remaining content still replays, the next sweep re-prices
+        exactly what was dropped, and every drop is counted
+        (:attr:`dropped_rows` / :attr:`dropped_deep_cells`) and logged.
+        Version-1 files (sweep rows only) stay readable and simply hold
+        no deep cells.
         """
         try:
             raw = json.loads(self.path(query_name).read_text())
         except (OSError, ValueError):
-            return {}
-        if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
-            return {}
+            return StoredRows()
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") not in _READABLE_VERSIONS
+        ):
+            return StoredRows()
         rows: dict[tuple[str, str], SweepRow] = {}
         dropped = 0
-        for key, payload in raw.get("rows", {}).items():
+        raw_rows = raw.get("rows", {})
+        if not isinstance(raw_rows, dict):
+            raw_rows = {}
+        for key, payload in raw_rows.items():
             estimator, _, fingerprint = key.partition("|")
             try:
                 row = SweepRow(**{
@@ -151,12 +228,46 @@ class ResultStore:
                 query_name,
                 len(rows),
             )
-        return rows
+        deep: dict[str, tuple[DeepRow, ...]] = {}
+        dropped_cells = 0
+        raw_deep = raw.get("deep", {})
+        if not isinstance(raw_deep, dict):
+            raw_deep = {}
+        for cell_key, payloads in raw_deep.items():
+            try:
+                if not isinstance(payloads, list):
+                    raise TypeError("deep cell payload is not a list")
+                deep[str(cell_key)] = tuple(
+                    _parse_deep_row(p) for p in payloads
+                )
+            except (KeyError, TypeError, ValueError):
+                dropped_cells += 1
+                continue
+        if dropped_cells:
+            self.dropped_deep_cells += dropped_cells
+            log.warning(
+                "result store %s: dropped %d malformed deep cell(s) of %s "
+                "(%d intact cells kept; the next deep sweep re-prices "
+                "the drops)",
+                self.directory,
+                dropped_cells,
+                query_name,
+                len(deep),
+            )
+        return StoredRows(rows=rows, deep=deep)
 
-    def load_many(
+    def load(self, query_name: str) -> dict[tuple[str, str], SweepRow]:
+        """Stored sweep rows for one query, keyed by (estimator, fp)."""
+        return self.load_all(query_name).rows
+
+    def load_deep(self, query_name: str) -> dict[str, tuple[DeepRow, ...]]:
+        """Stored deep cells for one query, keyed by deep cell key."""
+        return self.load_all(query_name).deep
+
+    def _load_indexed(
         self, query_names: Iterable[str]
-    ) -> dict[str, dict[tuple[str, str], SweepRow]]:
-        """Stored rows for many queries via one manifest read.
+    ) -> dict[str, StoredRows]:
+        """Parsed content for many queries via one manifest read.
 
         The index answers "which of these queries have rows at all" from
         a single (staleness-checked) manifest, so only files that hold
@@ -170,16 +281,34 @@ class ResultStore:
         return {
             name: (
                 parsed[name] if name in parsed
-                else self.load(name) if name in indexed
-                else {}
+                else self.load_all(name) if name in indexed
+                else StoredRows()
             )
             for name in query_names
+        }
+
+    def load_many(
+        self, query_names: Iterable[str]
+    ) -> dict[str, dict[tuple[str, str], SweepRow]]:
+        """Stored sweep rows for many queries via one manifest read."""
+        return {
+            name: stored.rows
+            for name, stored in self._load_indexed(query_names).items()
+        }
+
+    def load_many_deep(
+        self, query_names: Iterable[str]
+    ) -> dict[str, dict[str, tuple[DeepRow, ...]]]:
+        """Stored deep cells for many queries via one manifest read."""
+        return {
+            name: stored.deep
+            for name, stored in self._load_indexed(query_names).items()
         }
 
     def scan(
         self, predicate: Callable[[SweepRow], bool] | None = None
     ) -> Iterator[SweepRow]:
-        """Every stored row (optionally filtered), in canonical store order.
+        """Every stored sweep row (optionally filtered), in canonical order.
 
         Order is deterministic — queries sorted by name, rows sorted by
         ``(estimator, fingerprint)`` within a query — so batch folds over
@@ -188,7 +317,7 @@ class ResultStore:
         indexed, parsed = self.index.refresh_with_rows()
         for query_name in sorted(indexed):
             rows = (
-                parsed[query_name] if query_name in parsed
+                parsed[query_name].rows if query_name in parsed
                 else self.load(query_name)
             )
             for key in sorted(rows):
@@ -196,33 +325,87 @@ class ResultStore:
                 if predicate is None or predicate(row):
                     yield row
 
+    def scan_deep(
+        self, predicate: Callable[[DeepRow], bool] | None = None
+    ) -> Iterator[DeepRow]:
+        """Every stored deep row (optionally filtered), in canonical order.
+
+        Queries sorted by name, cells sorted by deep cell key, rows in
+        their cell's stored (= pricing) order.
+        """
+        indexed, parsed = self.index.refresh_with_rows()
+        for query_name in sorted(indexed):
+            deep = (
+                parsed[query_name].deep if query_name in parsed
+                else self.load_deep(query_name)
+            )
+            for cell_key in sorted(deep):
+                for row in deep[cell_key]:
+                    if predicate is None or predicate(row):
+                        yield row
+
+    def _write_merged(self, query_name: str, merged: StoredRows) -> Path:
+        path = self.path(query_name)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "rows": {
+                _row_key(estimator, fingerprint): asdict(row)
+                for (estimator, fingerprint), row in sorted(
+                    merged.rows.items()
+                )
+            },
+            "deep": {
+                cell_key: [asdict(row) for row in merged.deep[cell_key]]
+                for cell_key in sorted(merged.deep)
+            },
+        }
+        atomic_write_json(path, payload)
+        return path
+
     def save(
         self,
         query_name: str,
         rows: dict[tuple[str, str], SweepRow],
     ) -> Path | None:
-        """Atomically merge ``rows`` into the query's file.
+        """Atomically merge sweep ``rows`` into the query's file.
 
         The per-query ``flock`` makes the load-merge-write sequence safe
         against a concurrent sweep saving the same query: neither writer
-        can drop the other's cells.
+        can drop the other's cells.  Deep cells already in the file are
+        carried over untouched (and vice versa for :meth:`save_deep`);
+        a version-1 file is upgraded to the current format on its first
+        rewrite.
         """
         if not rows:
             return None
         path = self.path(query_name)
         path.parent.mkdir(parents=True, exist_ok=True)
         with locked(path.parent / f".{query_name}.lock"):
-            merged = self.load(query_name)
-            merged.update(rows)
-            payload = {
-                "version": _FORMAT_VERSION,
-                "rows": {
-                    _row_key(estimator, fingerprint): asdict(row)
-                    for (estimator, fingerprint), row in sorted(merged.items())
-                },
-            }
-            atomic_write_json(path, payload)
-        return path
+            merged = self.load_all(query_name)
+            merged.rows.update(rows)
+            return self._write_merged(query_name, merged)
+
+    def save_deep(
+        self,
+        query_name: str,
+        cells: dict[str, tuple[DeepRow, ...]],
+    ) -> Path | None:
+        """Atomically merge complete deep ``cells`` into the query's file.
+
+        Each value must be the cell's *complete* row tuple — the cell is
+        the deep replay unit.  Sweep rows already in the file are carried
+        over untouched, under the same per-query ``flock`` discipline.
+        """
+        if not cells:
+            return None
+        path = self.path(query_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with locked(path.parent / f".{query_name}.lock"):
+            merged = self.load_all(query_name)
+            merged.deep.update(
+                (key, tuple(rows)) for key, rows in cells.items()
+            )
+            return self._write_merged(query_name, merged)
 
     def known_queries(self) -> list[str]:
         """Names of queries with stored rows, sorted."""

@@ -36,16 +36,17 @@ from collections.abc import Callable, Sequence
 from dataclasses import replace
 from pathlib import Path
 
-from repro.pipeline.grid import SweepRow, SweepSpec
-from repro.pipeline.tasks import SweepCell, SweepUnit
+from repro.pipeline.grid import DeepSpec, SweepRow, SweepSpec
+from repro.pipeline.tasks import DeepCell, DeepUnit, SweepCell, SweepUnit
 
-#: callback invoked as each unit completes: (unit, freshly priced rows,
-#: pricing wall seconds — measured where the work ran, so pooled units
-#: report worker-side time without IPC overhead)
+#: callback invoked as each unit completes: (unit, freshly priced result
+#: — a row list for sweep units, a cell-key → rows dict for deep units —
+#: and pricing wall seconds, measured where the work ran, so pooled
+#: units report worker-side time without IPC overhead)
 UnitCallback = Callable[[SweepUnit, list[SweepRow], float], None]
 
 
-def order_units(units: Sequence[SweepUnit]) -> list[SweepUnit]:
+def order_units(units: Sequence[SweepUnit | DeepUnit]) -> list:
     """Largest-first schedule: descending ``n_relations``, stable."""
     return sorted(units, key=lambda u: (-u.n_relations, u.workload_index))
 
@@ -80,7 +81,7 @@ def gather_rows(
 _WORKER: dict = {}
 
 
-def _init_worker(spec: SweepSpec, truth_root: str | None) -> None:
+def _init_worker(spec: SweepSpec | DeepSpec, truth_root: str | None) -> None:
     from repro.pipeline.driver import build_resources
 
     # pool workers are daemonic and cannot fork oracle workers of their
@@ -105,7 +106,24 @@ def _run_unit(
     return query_name, rows, time.perf_counter() - started
 
 
-def _cell_pairs(cells: Sequence[SweepCell]) -> tuple[tuple[int, int], ...]:
+def _run_deep_unit(
+    payload: tuple[str, tuple[tuple[int, int], ...]]
+) -> tuple[str, dict, float]:
+    from repro.pipeline.driver import price_deep_cells
+
+    query_name, pairs = payload
+    spec: DeepSpec = _WORKER["spec"]
+    resources = _WORKER["resources"]
+    started = time.perf_counter()
+    cells = price_deep_cells(
+        resources, resources.query(query_name), spec, pairs
+    )
+    return query_name, cells, time.perf_counter() - started
+
+
+def _cell_pairs(
+    cells: Sequence[SweepCell | DeepCell],
+) -> tuple[tuple[int, int], ...]:
     return tuple((c.config_index, c.estimator_index) for c in cells)
 
 
@@ -156,6 +174,21 @@ class SweepScheduler:
 
     # ------------------------------------------------------------------ #
 
+    #: module-level function pool workers run per unit (overridden by
+    #: :class:`DeepScheduler`)
+    _pool_task = staticmethod(_run_unit)
+
+    def _price_unit(self, resources, unit):
+        """Price one unit's cells in-process (sequential path)."""
+        from repro.pipeline import driver
+
+        return driver.price_cells(
+            resources,
+            resources.query(unit.query),
+            self.spec,
+            _cell_pairs(unit.cells),
+        )
+
     def _run_sequential(
         self, ordered: list[SweepUnit], on_complete: UnitCallback | None
     ) -> dict[str, list[SweepRow]]:
@@ -168,12 +201,7 @@ class SweepScheduler:
         priced: dict[str, list[SweepRow]] = {}
         for unit in ordered:
             started = time.perf_counter()
-            rows = driver.price_cells(
-                resources,
-                resources.query(unit.query),
-                self.spec,
-                _cell_pairs(unit.cells),
-            )
+            rows = self._price_unit(resources, unit)
             elapsed = time.perf_counter() - started
             priced[unit.query] = rows
             if on_complete is not None:
@@ -198,9 +226,32 @@ class SweepScheduler:
             initargs=(self.spec, truth_arg),
         ) as pool:
             for query_name, rows, seconds in pool.imap_unordered(
-                _run_unit, payloads, chunksize=1
+                type(self)._pool_task, payloads, chunksize=1
             ):
                 priced[query_name] = rows
                 if on_complete is not None:
                     on_complete(by_query[query_name], rows, seconds)
         return priced
+
+
+class DeepScheduler(SweepScheduler):
+    """Runs pending *deep* units under the same schedule discipline.
+
+    Identical ordering, fan-out, and oracle policy as
+    :class:`SweepScheduler`; the only difference is the pricing function
+    — units resolve to
+    :func:`~repro.pipeline.driver.price_deep_cells`, whose result is a
+    deep-cell-key → row-tuple dict rather than a row list.
+    """
+
+    _pool_task = staticmethod(_run_deep_unit)
+
+    def _price_unit(self, resources, unit):
+        from repro.pipeline import driver
+
+        return driver.price_deep_cells(
+            resources,
+            resources.query(unit.query),
+            self.spec,
+            _cell_pairs(unit.cells),
+        )

@@ -32,7 +32,13 @@ from dataclasses import dataclass, fields
 from enum import Enum
 
 from repro.catalog.schema import Database
-from repro.pipeline.grid import EnumeratorConfig, SweepSpec
+from repro.pipeline.grid import (
+    DEEP_KINDS,
+    DeepConfig,
+    DeepSpec,
+    EnumeratorConfig,
+    SweepSpec,
+)
 from repro.query.query import Query
 
 #: dataset names a spec may carry, and what they mean
@@ -99,12 +105,16 @@ def workload_query(dataset: str, name: str) -> Query:
         ) from None
 
 
-def config_fingerprint(config: EnumeratorConfig) -> str:
-    """Stable short hash over *every* field of an enumerator config.
+def config_fingerprint(config) -> str:
+    """Stable short hash over *every* field of a config dataclass.
 
     Iterates the dataclass fields so a future config knob is part of the
     identity automatically — forgetting to extend the fingerprint could
-    silently serve stale cached rows.
+    silently serve stale cached rows.  Serves both
+    :class:`~repro.pipeline.grid.EnumeratorConfig` (shallow cells) and
+    :class:`~repro.pipeline.grid.DeepConfig` (deep cells); the two
+    classes have disjoint field sets, so their fingerprints can never
+    collide.
     """
     payload = {}
     for f in fields(config):
@@ -167,11 +177,131 @@ class SweepUnit:
     cells: tuple[SweepCell, ...]
 
 
-def spec_queries(spec: SweepSpec) -> list[Query]:
+def spec_queries(spec: SweepSpec | DeepSpec) -> list[Query]:
     """The query objects a spec names, in spec (= workload) order."""
     if spec.query_names is None:
         return workload_queries(spec.dataset)
     return [workload_query(spec.dataset, name) for name in spec.query_names]
+
+
+# --------------------------------------------------------------------- #
+# deep cells
+# --------------------------------------------------------------------- #
+
+
+def deep_config_fingerprint(config: DeepConfig) -> str:
+    """Stable short hash of a deep-measurement config (every field)."""
+    return config_fingerprint(config)
+
+
+@dataclass(frozen=True)
+class DeepCellKey:
+    """The stable content key of one deep measurement cell.
+
+    Identical to :class:`CellKey` on the database-identity half, plus
+    the observation ``kind`` and the deep config fingerprint.  Deep keys
+    are deliberately a *separate* type: deep knobs can never leak into
+    shallow cell identity, so growing the deep grid leaves every
+    shallow cache warm.
+    """
+
+    dataset: str
+    scale: str
+    seed: int
+    correlation: float
+    datagen_version: int
+    workload_version: int
+    query: str
+    kind: str
+    estimator: str
+    config_fingerprint: str
+
+
+@dataclass(frozen=True)
+class DeepCell:
+    """One addressable deep cell: key, grid coordinates, canonical rank."""
+
+    key: DeepCellKey
+    config_index: int
+    estimator_index: int
+    order: int
+
+
+@dataclass(frozen=True)
+class DeepUnit:
+    """One query's deep cells — the unit of scheduling and storage."""
+
+    query: str
+    n_relations: int
+    workload_index: int
+    cells: tuple[DeepCell, ...]
+
+
+def decompose_deep(spec: DeepSpec) -> list[DeepUnit]:
+    """Break a deep spec into per-query units of addressable cells.
+
+    Mirrors :func:`decompose`: canonical workload order, globally
+    increasing cell ``order`` (query → config → estimator).
+    """
+    from repro.datagen import DATAGEN_VERSION
+    from repro.workloads import WORKLOAD_VERSION
+
+    if not spec.configs:
+        raise ValueError("deep spec names no deep configs")
+    fingerprints = [deep_config_fingerprint(c) for c in spec.configs]
+    seen: set[tuple[str, str]] = set()
+    for config, fp in zip(spec.configs, fingerprints):
+        if config.kind not in DEEP_KINDS:
+            raise ValueError(
+                f"unknown deep kind {config.kind!r}; choose from "
+                f"{', '.join(DEEP_KINDS)}"
+            )
+        if (config.name, fp) in seen:
+            raise ValueError(f"duplicate deep config {config.name!r} in spec")
+        seen.add((config.name, fp))
+    if len({name for name, _ in seen}) != len(seen):
+        raise ValueError(
+            "two distinct deep configs share a name; rows would be "
+            "ambiguous — give each config a unique name"
+        )
+
+    units: list[DeepUnit] = []
+    order = 0
+    for w_index, query in enumerate(spec_queries(spec)):
+        cells: list[DeepCell] = []
+        for c_index, (config, fp) in enumerate(
+            zip(spec.configs, fingerprints)
+        ):
+            for e_index, estimator in enumerate(spec.estimators):
+                cells.append(
+                    DeepCell(
+                        key=DeepCellKey(
+                            dataset=spec.dataset,
+                            scale=spec.scale,
+                            seed=spec.seed,
+                            correlation=spec.correlation,
+                            datagen_version=DATAGEN_VERSION,
+                            workload_version=WORKLOAD_VERSION,
+                            query=query.name,
+                            kind=config.kind,
+                            estimator=estimator,
+                            config_fingerprint=fp,
+                        ),
+                        config_index=c_index,
+                        estimator_index=e_index,
+                        order=order,
+                    )
+                )
+                order += 1
+        units.append(
+            DeepUnit(
+                query=query.name,
+                n_relations=query.n_relations,
+                workload_index=w_index,
+                cells=tuple(cells),
+            )
+        )
+    return units
 
 
 def decompose(spec: SweepSpec) -> list[SweepUnit]:

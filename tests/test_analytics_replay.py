@@ -339,6 +339,7 @@ class TestReportRegistry:
         assert frame_mod.available_reports() == [
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "table1", "table2", "table3", "ablation",
+            "fig3-deep", "fig5-deep", "fig6-deep", "fig7-deep", "fig8-deep",
         ]
 
     def test_unknown_report_rejected(self):
