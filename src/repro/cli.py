@@ -12,6 +12,10 @@ Examples::
     python -m repro report fig6 --scale tiny --queries 1a,4a \
         --result-cache .truth-cache
     python -m repro report summary --scale tiny --result-cache .truth-cache
+    python -m repro work enqueue --scale tiny --queries 1a,4a \
+        --queue .queue --result-cache .truth-cache
+    python -m repro work worker --queue .queue --progress
+    python -m repro work status --queue .queue
 """
 
 from __future__ import annotations
@@ -140,13 +144,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _build_sweep_spec(args: argparse.Namespace):
+    """Validate the shared grid flags and build a SweepSpec.
+
+    One spec builder for every verb that names a sweep grid (``sweep``
+    and ``work enqueue``).  Returns ``(spec, 0)`` or ``(None, exit
+    code)`` with the complaint already printed.
+    """
     from repro.physical import IndexConfig
     from repro.pipeline import (
         EnumeratorConfig,
         SweepSpec,
         check_dataset,
-        run_sweep,
         workload_queries,
     )
     from repro.pipeline.resources import ESTIMATOR_ORDER
@@ -155,7 +164,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         check_dataset(args.dataset)
     except ValueError as exc:
         print(exc, file=sys.stderr)
-        return 2
+        return None, 2
     if args.queries:
         known = {q.name for q in workload_queries(args.dataset)}
         bad = [n for n in args.queries.split(",") if n not in known]
@@ -165,7 +174,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "(see `repro list`)",
                 file=sys.stderr,
             )
-            return 2
+            return None, 2
 
     if args.estimators:
         estimators = tuple(args.estimators.split(","))
@@ -176,7 +185,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"choose from: {', '.join(ESTIMATOR_ORDER)}",
                 file=sys.stderr,
             )
-            return 2
+            return None, 2
     else:
         estimators = tuple(ESTIMATOR_ORDER)
     index_names = args.indexes.split(",")
@@ -187,7 +196,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"choose from: {', '.join(IndexConfig.__members__)}",
             file=sys.stderr,
         )
-        return 2
+        return None, 2
     configs = tuple(
         EnumeratorConfig(name.lower().replace("_", "+"), IndexConfig[name])
         for name in index_names
@@ -203,6 +212,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         oracle_processes=args.oracle_processes,
     )
+    return spec, 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.pipeline import run_sweep
+
+    spec, code = _build_sweep_spec(args)
+    if spec is None:
+        return code
     if args.no_result_cache:
         result_root = None
     else:
@@ -311,6 +329,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             truth_root=truth_root,
             processes=args.processes,
             progress=progress,
+            resume=args.resume,
         )
         print(run.text)
         print()
@@ -359,6 +378,142 @@ def _report_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_work_enqueue(args: argparse.Namespace) -> int:
+    from repro.pipeline import SWEEP_KIND, WorkQueue
+
+    spec, code = _build_sweep_spec(args)
+    if spec is None:
+        return code
+    result_root = args.result_cache or args.truth_cache
+    if not result_root:
+        print(
+            "work enqueue needs --result-cache (or --truth-cache): "
+            "workers ship rows back through the result store",
+            file=sys.stderr,
+        )
+        return 2
+    queue = WorkQueue(args.queue, lease_ttl=args.lease_ttl)
+    stats = queue.enqueue(
+        spec,
+        SWEEP_KIND,
+        result_root,
+        truth_root=args.truth_cache,
+        resume=args.resume,
+    )
+    print(stats.render())
+    return 0
+
+
+def _cmd_work_worker(args: argparse.Namespace) -> int:
+    from repro.pipeline import WorkQueue, run_worker
+
+    progress = None
+    if args.progress:
+        def progress(line):
+            print(line, file=sys.stderr, flush=True)
+
+    stats = run_worker(
+        WorkQueue(args.queue),
+        worker_id=args.worker_id,
+        max_units=args.max_units,
+        poll=args.poll,
+        progress=progress,
+    )
+    print(stats.render())
+    return 0
+
+
+def _cmd_work_status(args: argparse.Namespace) -> int:
+    from repro.pipeline import WorkQueue
+
+    queue = WorkQueue(args.queue)
+    status = queue.status()
+    for key in ("specs", "pending", "leased", "expired", "done"):
+        print(f"{key:8s} {status[key]}")
+    if queue.drained():
+        print("queue is drained")
+    return 0
+
+
+def _grid_flags() -> argparse.ArgumentParser:
+    """Shared parent parser: which grid (database identity + queries)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "small", "medium"])
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--queries", default=None,
+        help="comma-separated workload query names (default: all of them)",
+    )
+    p.add_argument(
+        "--dataset", default="imdb",
+        help="workload dataset: imdb (JOB) or tpch",
+    )
+    return p
+
+
+def _axes_flags() -> argparse.ArgumentParser:
+    """Shared parent parser: the sweep grid's estimator/config axes."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--estimators", default=None,
+        help="comma-separated estimator names (default: all five)",
+    )
+    p.add_argument(
+        "--indexes", default="PK,PK_FK",
+        help="comma-separated index configs out of NONE,PK,PK_FK",
+    )
+    return p
+
+
+def _store_flags() -> argparse.ArgumentParser:
+    """Shared parent parser: stores, pricing fan-out, resume, progress.
+
+    One definition of ``--truth-cache`` / ``--result-cache`` /
+    ``--processes`` / ``--oracle-processes`` / ``--resume`` /
+    ``--progress`` serves ``sweep``, ``report``, and ``work enqueue``
+    alike — the flags mean the same thing everywhere.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--truth-cache", default=None, metavar="DIR",
+        help="directory for the persistent exact-cardinality store",
+    )
+    p.add_argument(
+        "--result-cache", default=None, metavar="DIR",
+        help=(
+            "directory for the persistent priced-row store (sweep/work "
+            "default to the --truth-cache directory, report replays "
+            "from here)"
+        ),
+    )
+    p.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes (1 = sequential; results are identical)",
+    )
+    p.add_argument(
+        "--oracle-processes", type=int, default=1,
+        help=(
+            "worker processes inside the exact-cardinality oracle "
+            "(level-parallel materialisation; bit-identical to "
+            "sequential).  Applies to sequential sweeps and to a single "
+            "straggling unit; pooled unit workers stay sequential"
+        ),
+    )
+    p.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "replay cells already priced by previous runs "
+            "(--no-resume re-prices everything, still updating the store)"
+        ),
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line to stderr as each unit completes",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -368,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    grid_flags = _grid_flags()
+    axes_flags = _axes_flags()
+    store_flags = _store_flags()
 
     p_list = sub.add_parser("list", help="list the 113 JOB queries")
     p_list.set_defaults(func=_cmd_list)
@@ -411,65 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep",
+        parents=[grid_flags, axes_flags, store_flags],
         help="batch-optimize the (query x estimator x config) grid",
-    )
-    p_sweep.add_argument("--scale", default="tiny",
-                         choices=["tiny", "small", "medium"])
-    p_sweep.add_argument("--seed", type=int, default=42)
-    p_sweep.add_argument(
-        "--queries", default=None,
-        help="comma-separated JOB query names (default: all 113)",
-    )
-    p_sweep.add_argument(
-        "--estimators", default=None,
-        help="comma-separated estimator names (default: all five)",
-    )
-    p_sweep.add_argument(
-        "--indexes", default="PK,PK_FK",
-        help="comma-separated index configs out of NONE,PK,PK_FK",
-    )
-    p_sweep.add_argument(
-        "--processes", type=int, default=1,
-        help="worker processes (1 = sequential; results are identical)",
-    )
-    p_sweep.add_argument(
-        "--oracle-processes", type=int, default=1,
-        help=(
-            "worker processes inside the exact-cardinality oracle "
-            "(level-parallel materialisation; bit-identical to "
-            "sequential).  Applies to sequential sweeps and to a single "
-            "straggling unit; pooled unit workers stay sequential"
-        ),
-    )
-    p_sweep.add_argument(
-        "--dataset", default="imdb",
-        help="workload dataset: imdb (JOB) or tpch",
-    )
-    p_sweep.add_argument(
-        "--truth-cache", default=None, metavar="DIR",
-        help="directory for the persistent exact-cardinality store",
-    )
-    p_sweep.add_argument(
-        "--result-cache", default=None, metavar="DIR",
-        help=(
-            "directory for the persistent priced-row store "
-            "(default: the --truth-cache directory)"
-        ),
     )
     p_sweep.add_argument(
         "--no-result-cache", action="store_true",
         help="neither read nor write the priced-row store",
-    )
-    p_sweep.add_argument(
-        "--resume", action=argparse.BooleanOptionalAction, default=True,
-        help=(
-            "replay cells already priced by previous runs "
-            "(--no-resume re-prices everything, still updating the store)"
-        ),
-    )
-    p_sweep.add_argument(
-        "--progress", action="store_true",
-        help="print a progress line to stderr as each query completes",
     )
     p_sweep.add_argument(
         "--csv", default=None, metavar="PATH",
@@ -490,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser(
         "report",
+        parents=[grid_flags, store_flags],
         help=(
             "render a figure/table from the result store; a warm store "
             "replays with zero database generation, a cold one prices "
@@ -507,47 +613,75 @@ def build_parser() -> argparse.ArgumentParser:
             "DeepRows), summary (aggregate the whole store), or 'all'"
         ),
     )
-    p_report.add_argument("--scale", default="tiny",
-                          choices=["tiny", "small", "medium"])
-    p_report.add_argument("--seed", type=int, default=42)
-    p_report.add_argument(
-        "--queries", default=None,
-        help=(
-            "comma-separated query names restricting the report's grid "
-            "(default: the artifact's paper query set)"
-        ),
-    )
-    p_report.add_argument(
-        "--dataset", default="imdb",
-        help="workload dataset: imdb (JOB) or tpch",
-    )
-    p_report.add_argument(
-        "--result-cache", default=None, metavar="DIR",
-        help=(
-            "directory of the persistent priced-row store to replay "
-            "from (omit to recompute everything)"
-        ),
-    )
-    p_report.add_argument(
-        "--truth-cache", default=None, metavar="DIR",
-        help=(
-            "directory for the exact-cardinality store "
-            "(default: the --result-cache directory)"
-        ),
-    )
-    p_report.add_argument(
-        "--processes", type=int, default=1,
-        help="worker processes for pricing any missing cells",
-    )
-    p_report.add_argument(
-        "--oracle-processes", type=int, default=1,
-        help="worker processes inside the exact-cardinality oracle",
-    )
-    p_report.add_argument(
-        "--progress", action="store_true",
-        help="print a progress line to stderr as cells are priced/replayed",
-    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_work = sub.add_parser(
+        "work",
+        help=(
+            "lease-queue verbs: enqueue a sweep's unpriced units, drain "
+            "them with N independent worker processes, inspect progress"
+        ),
+    )
+    work_sub = p_work.add_subparsers(dest="verb", required=True)
+
+    p_enq = work_sub.add_parser(
+        "enqueue",
+        parents=[grid_flags, axes_flags, store_flags],
+        help=(
+            "decompose a sweep grid, subtract stored cells, queue the "
+            "rest as leasable units (idempotent per grid delta)"
+        ),
+    )
+    p_enq.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="the work queue directory (created if missing)",
+    )
+    p_enq.add_argument(
+        "--lease-ttl", type=float, default=120.0,
+        help=(
+            "seconds a silent lease survives before any worker reclaims "
+            "it (recorded in the queue; every worker honours it)"
+        ),
+    )
+    p_enq.set_defaults(func=_cmd_work_enqueue)
+
+    p_worker = work_sub.add_parser(
+        "worker",
+        help=(
+            "claim, price, and merge units until the queue drains; run "
+            "N of these concurrently for an N-way sweep"
+        ),
+    )
+    p_worker.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="the work queue directory",
+    )
+    p_worker.add_argument(
+        "--worker-id", default=None,
+        help="lease owner label (default: hostname-pid)",
+    )
+    p_worker.add_argument(
+        "--max-units", type=int, default=None,
+        help="exit after completing this many units (default: drain)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between claim attempts while others hold leases",
+    )
+    p_worker.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line to stderr as each unit completes",
+    )
+    p_worker.set_defaults(func=_cmd_work_worker)
+
+    p_status = work_sub.add_parser(
+        "status", help="print per-state unit counts for a queue"
+    )
+    p_status.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="the work queue directory",
+    )
+    p_status.set_defaults(func=_cmd_work_status)
     return parser
 
 

@@ -38,9 +38,9 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from repro.pipeline.driver import run_deep_sweep, run_sweep
+from repro.pipeline.driver import run_cells
 from repro.pipeline.grid import DeepRow, DeepSpec, SweepRow, SweepSpec
-from repro.pipeline.tasks import decompose, decompose_deep
+from repro.pipeline.kinds import DEEP_KIND, SWEEP_KIND
 
 
 @dataclass
@@ -104,35 +104,60 @@ class AnalysisFrame:
         return [c.name for c in self.spec.configs]
 
 
+def _materialise(
+    spec,
+    kind,
+    frame_cls,
+    result_root,
+    truth_root,
+    processes,
+    progress,
+    resume,
+):
+    """The one frame builder: any kind's rows through ``run_cells``.
+
+    With ``result_root`` pointing at a warm store the call touches no
+    database generator and no optimizer — it is a pure indexed read.
+    Without a store it is the recompute path.  Either way the returned
+    rows are bit-identical.
+    """
+    units = kind.decompose(spec)
+    result = run_cells(
+        spec,
+        kind,
+        processes=processes,
+        truth_root=truth_root,
+        result_root=result_root,
+        resume=resume,
+        progress=progress,
+    )
+    return frame_cls(
+        spec=spec,
+        rows=tuple(result.rows),
+        priced_cells=result.priced_cells,
+        replayed_cells=result.cached_cells,
+        n_relations={u.query: u.n_relations for u in units},
+    )
+
+
 def build_frame(
     spec: SweepSpec,
     result_root=None,
     truth_root=None,
     processes: int = 1,
     progress=None,
+    resume: bool = True,
 ) -> AnalysisFrame:
-    """Materialise a spec's rows: replay what the store covers, price the rest.
-
-    This is :func:`~repro.pipeline.driver.run_sweep` under a different
-    contract emphasis: with ``result_root`` pointing at a warm store the
-    call touches no database generator and no optimizer — it is a pure
-    indexed read.  Without a store it is the recompute path.  Either way
-    the returned rows are bit-identical.
-    """
-    units = decompose(spec)
-    result = run_sweep(
+    """Materialise a spec's rows: replay what the store covers, price the rest."""
+    return _materialise(
         spec,
-        processes=processes,
-        truth_root=truth_root,
-        result_root=result_root,
-        progress=progress,
-    )
-    return AnalysisFrame(
-        spec=spec,
-        rows=tuple(result.rows),
-        priced_cells=result.priced_cells,
-        replayed_cells=result.cached_cells,
-        n_relations={u.query: u.n_relations for u in units},
+        SWEEP_KIND,
+        AnalysisFrame,
+        result_root,
+        truth_root,
+        processes,
+        progress,
+        resume,
     )
 
 
@@ -207,27 +232,24 @@ def build_deep_frame(
     truth_root=None,
     processes: int = 1,
     progress=None,
+    resume: bool = True,
 ) -> DeepFrame:
     """Materialise a deep spec's rows: replay the store, price the rest.
 
-    Same contract emphasis as :func:`build_frame`: a warm store makes
-    this a pure indexed read — zero database generation, zero deep cell
-    pricing — and either path yields bit-identical rows.
+    Same contract as :func:`build_frame` — both are the same generic
+    builder parameterised by kind: a warm store makes this a pure
+    indexed read (zero database generation, zero deep cell pricing) and
+    either path yields bit-identical rows.
     """
-    units = decompose_deep(spec)
-    result = run_deep_sweep(
+    return _materialise(
         spec,
-        processes=processes,
-        truth_root=truth_root,
-        result_root=result_root,
-        progress=progress,
-    )
-    return DeepFrame(
-        spec=spec,
-        rows=tuple(result.rows),
-        priced_cells=result.priced_cells,
-        replayed_cells=result.cached_cells,
-        n_relations={u.query: u.n_relations for u in units},
+        DEEP_KIND,
+        DeepFrame,
+        result_root,
+        truth_root,
+        processes,
+        progress,
+        resume,
     )
 
 
@@ -340,6 +362,7 @@ def run_report(
     truth_root=None,
     processes: int = 1,
     progress=None,
+    resume: bool = True,
 ) -> ReportRun:
     """Build a registered artifact's frames and render it.
 
@@ -363,6 +386,7 @@ def run_report(
             truth_root=truth_root,
             processes=processes,
             progress=progress,
+            resume=resume,
         )
         for spec in definition.specs(base)
     )

@@ -20,15 +20,22 @@ Module             Provides
                    :class:`DeepConfig` / :class:`DeepRow` /
                    :class:`DeepResult` (subexpression and
                    simulated-runtime observations)
-``tasks``          :func:`decompose` → :class:`SweepUnit` /
+``kinds``          :class:`CellKind` (+ the :data:`SWEEP_KIND` /
+                   :data:`DEEP_KIND` singletons behind :data:`KINDS`) —
+                   the one strategy seam between generic orchestration
+                   and the two row kinds
+``tasks``          :func:`decompose` → :class:`CellUnit` /
                    :class:`SweepCell` / :class:`CellKey` — addressable
                    cells with stable content keys; dataset identity;
                    :func:`decompose_deep` for the deep grid (deep keys
                    are disjoint from shallow keys, so neither sweep
                    kind ever invalidates the other's cache)
-``scheduler``      :class:`SweepScheduler` / :class:`DeepScheduler` —
-                   largest-first ordering, pool fan-out, canonical row
-                   gathering
+``scheduler``      :class:`CellScheduler` — largest-first ordering and
+                   pool fan-out for any kind's units
+``queue``          :class:`WorkQueue` / :func:`run_worker` — a
+                   filesystem-backed lease queue so N shared-nothing
+                   worker processes drain a sweep bit-identically to
+                   the sequential path
 ``results``        :class:`ResultStore` (persistent priced rows of both
                    kinds in one versioned per-query file, manifest
                    index, ``load_many``/``scan`` + deep batch APIs) +
@@ -37,14 +44,14 @@ Module             Provides
 ``index``          :class:`StoreIndex` — flock-disciplined manifest over
                    a result-store directory with per-file staleness and
                    per-kind row-key sets
-``aggregate``      :class:`StreamingAggregator` / :func:`aggregate_store`
-                   (+ :class:`DeepStreamingAggregator` /
-                   :func:`aggregate_deep_store`) — incremental
-                   workload-level summaries of stored rows
+``aggregate``      :func:`aggregate_cells` — the generic store fold —
+                   plus :class:`StreamingAggregator` /
+                   :func:`aggregate_store` and their deep twins
 ``instrument``     process-local counters behind the warm-path
                    zero-generation / zero-pricing guarantee
-``driver``         :func:`run_sweep` / :func:`run_deep_sweep` —
-                   incremental orchestration
+``driver``         :func:`run_cells` — the one incremental
+                   orchestration core — with :func:`run_sweep` /
+                   :func:`run_deep_sweep` as thin per-kind wrappers
 ``truthstore``     :class:`TruthStore` — exact counts keyed by
                    ``(dataset, scale, seed, correlation, query name)``
 =================  ===================================================
@@ -73,6 +80,7 @@ from repro.pipeline.resources import (
 from repro.pipeline.tasks import (
     DATASETS,
     CellKey,
+    CellUnit,
     DeepCell,
     DeepCellKey,
     DeepUnit,
@@ -87,12 +95,16 @@ from repro.pipeline.tasks import (
     workload_queries,
     workload_query,
 )
-from repro.pipeline.scheduler import (
-    DeepScheduler,
-    SweepScheduler,
-    gather_rows,
-    order_units,
+from repro.pipeline.kinds import (
+    DEEP_KIND,
+    KINDS,
+    SWEEP_KIND,
+    CellKind,
+    kind_for_spec,
+    spec_digest,
+    unit_digest,
 )
+from repro.pipeline.scheduler import CellScheduler, order_units
 from repro.pipeline.results import (
     CsvStreamWriter,
     ResultStore,
@@ -106,6 +118,7 @@ from repro.pipeline.aggregate import (
     DeepAggregateSummary,
     DeepStreamingAggregator,
     StreamingAggregator,
+    aggregate_cells,
     aggregate_deep_store,
     aggregate_store,
 )
@@ -113,20 +126,34 @@ from repro.pipeline.driver import (
     build_resources,
     price_cells,
     price_deep_cells,
+    run_cells,
     run_deep_sweep,
     run_sweep,
     sweep_query,
+)
+from repro.pipeline.queue import (
+    Lease,
+    WorkerStats,
+    WorkQueue,
+    default_worker_id,
+    run_worker,
 )
 from repro.pipeline.truthstore import TruthPayload, TruthStore
 
 __all__ = [
     "DATASETS",
+    "DEEP_KIND",
     "DEEP_KINDS",
     "DEFAULT_CONFIGS",
     "ESTIMATOR_ORDER",
+    "KINDS",
+    "SWEEP_KIND",
     "TRUE_SOURCE",
     "AggregateSummary",
     "CellKey",
+    "CellKind",
+    "CellScheduler",
+    "CellUnit",
     "CsvStreamWriter",
     "DeepAggregateSummary",
     "DeepCell",
@@ -134,11 +161,11 @@ __all__ = [
     "DeepConfig",
     "DeepResult",
     "DeepRow",
-    "DeepScheduler",
     "DeepSpec",
     "DeepStreamingAggregator",
     "DeepUnit",
     "EnumeratorConfig",
+    "Lease",
     "QueryWorkspace",
     "ResultStore",
     "StoredRows",
@@ -147,13 +174,15 @@ __all__ = [
     "SweepRow",
     "StoreIndex",
     "StreamingAggregator",
-    "SweepScheduler",
     "SweepSpec",
     "SweepUnit",
     "TruthPayload",
     "TruthStore",
     "UnitReport",
+    "WorkQueue",
+    "WorkerStats",
     "WorkloadResources",
+    "aggregate_cells",
     "aggregate_deep_store",
     "aggregate_store",
     "build_resources",
@@ -163,16 +192,21 @@ __all__ = [
     "decompose_deep",
     "deep_cell_key",
     "deep_config_fingerprint",
+    "default_worker_id",
+    "kind_for_spec",
     "make_database",
-    "gather_rows",
     "order_units",
     "price_cells",
     "price_deep_cells",
+    "run_cells",
     "run_deep_sweep",
     "run_sweep",
+    "run_worker",
+    "spec_digest",
     "standard_estimators",
     "subexpr_deep_config",
     "sweep_query",
+    "unit_digest",
     "workload_queries",
     "workload_query",
 ]

@@ -275,7 +275,42 @@ class AggregateSummary:
         return "\n".join(lines)
 
 
-class StreamingAggregator:
+class _StreamingFold:
+    """Shared streaming-fold state and progress-event plumbing.
+
+    Both kind aggregators extend this: per-row folding differs per kind
+    (the :meth:`add` hook), but the row/query/throughput accounting and
+    the ``run_cells(progress=...)`` callback protocol — fold the rows
+    each :class:`UnitReport` carries, accumulate its wall time — are
+    kind-independent and live here exactly once.
+    """
+
+    def __init__(self) -> None:
+        self.n_rows = 0
+        self.priced_seconds = 0.0
+        self.priced_cells = 0
+        self.replayed_cells = 0
+        self._queries: set[str] = set()
+
+    def add(self, row) -> None:
+        raise NotImplementedError
+
+    def add_many(self, rows: Iterable) -> None:
+        for row in rows:
+            self.add(row)
+
+    def on_report(self, report: UnitReport) -> None:
+        """Consume one progress event (rows + throughput)."""
+        self.add_many(report.rows)
+        self.priced_seconds += report.unit_seconds
+        self.priced_cells += report.priced
+        self.replayed_cells += report.cached
+
+    #: an aggregator is itself a valid ``progress`` callback
+    __call__ = on_report
+
+
+class StreamingAggregator(_StreamingFold):
     """Fold sweep rows into workload-level summaries, incrementally.
 
     Feed it rows directly (:meth:`add` / :meth:`add_many`), pass the
@@ -290,12 +325,8 @@ class StreamingAggregator:
     """
 
     def __init__(self, exact: bool = True) -> None:
+        super().__init__()
         self.exact = exact
-        self.n_rows = 0
-        self.priced_seconds = 0.0
-        self.priced_cells = 0
-        self.replayed_cells = 0
-        self._queries: set[str] = set()
         if exact:
             # (query, estimator, config) -> (q_error, slowdown, cost ratio)
             self._cells: dict[
@@ -358,20 +389,6 @@ class StreamingAggregator:
         self._cfg_ratio_logsum.setdefault(cfg, _KahanSum()).add(
             math.log(max(ratio, 1e-300))
         )
-
-    def add_many(self, rows: Iterable[SweepRow]) -> None:
-        for row in rows:
-            self.add(row)
-
-    def on_report(self, report: UnitReport) -> None:
-        """Consume one sweep progress event (rows + throughput)."""
-        self.add_many(report.rows)
-        self.priced_seconds += report.unit_seconds
-        self.priced_cells += report.priced
-        self.replayed_cells += report.cached
-
-    #: a StreamingAggregator is itself a valid ``progress`` callback
-    __call__ = on_report
 
     # ------------------------------------------------------------------ #
     # summarising
@@ -589,7 +606,7 @@ class DeepAggregateSummary:
         return "\n\n".join(blocks)
 
 
-class DeepStreamingAggregator:
+class DeepStreamingAggregator(_StreamingFold):
     """Fold deep rows into workload-level summaries, incrementally.
 
     The deep twin of :class:`StreamingAggregator`, exact mode only: one
@@ -601,11 +618,7 @@ class DeepStreamingAggregator:
     """
 
     def __init__(self) -> None:
-        self.n_rows = 0
-        self.priced_cells = 0
-        self.replayed_cells = 0
-        self.priced_seconds = 0.0
-        self._queries: set[str] = set()
+        super().__init__()
         # (query, estimator, config, subset) -> q-error
         self._subexpr: dict[tuple[str, str, str, int], float] = {}
         # (config, query, estimator) -> (sim_runtime_ms, timed_out)
@@ -625,19 +638,6 @@ class DeepStreamingAggregator:
             self._runtime[(row.config, row.query, row.estimator)] = (
                 row.sim_runtime_ms, row.timed_out
             )
-
-    def add_many(self, rows: Iterable[DeepRow]) -> None:
-        for row in rows:
-            self.add(row)
-
-    def on_report(self, report: UnitReport) -> None:
-        """Consume one deep-sweep progress event (rows + throughput)."""
-        self.add_many(report.rows)
-        self.priced_seconds += report.unit_seconds
-        self.priced_cells += report.priced
-        self.replayed_cells += report.cached
-
-    __call__ = on_report
 
     # ------------------------------------------------------------------ #
 
@@ -700,27 +700,48 @@ class DeepStreamingAggregator:
         )
 
 
+def aggregate_cells(
+    store: ResultStore,
+    kind,
+    predicate: Callable | None = None,
+    **aggregator_kwargs,
+):
+    """Batch-fold every stored row of one kind into the kind's summary.
+
+    The one generic store fold: the kind supplies the scan
+    (:meth:`~repro.pipeline.kinds.CellKind.scan`), the aggregator
+    factory, and the replay accounting.  Deterministic because the scan
+    order is canonical and the exact folds summarise retained records in
+    sorted key order — bit-identical to a streaming fold of the same
+    rows in any arrival order.
+
+    ``replayed_cells`` counts *cells* (like the streaming fold's
+    :class:`UnitReport` accounting), not rows: for kinds where every row
+    is its own cell that is the row count, otherwise distinct cell
+    identities are counted (one subexpression cell owns many rows).
+    """
+    aggregator = kind.aggregator(**aggregator_kwargs)
+    total = 0
+    identities: set[tuple] = set()
+    for row in kind.scan(store, predicate):
+        aggregator.add(row)
+        total += 1
+        if not kind.one_row_per_cell:
+            identities.add(kind.cell_identity(row))
+    aggregator.replayed_cells = (
+        total if kind.one_row_per_cell else len(identities)
+    )
+    return aggregator.summary()
+
+
 def aggregate_deep_store(
     store: ResultStore,
     predicate: Callable[[DeepRow], bool] | None = None,
 ) -> DeepAggregateSummary:
-    """Batch-fold every stored deep row of a result store into a summary.
+    """Batch-fold every stored deep row: :func:`aggregate_cells` of deep."""
+    from repro.pipeline.kinds import DEEP_KIND
 
-    Deterministic for the same reason :func:`aggregate_store` is: the
-    scan order is canonical and the fold summarises retained records in
-    sorted key order, so it is bit-identical to a streaming fold of the
-    same rows in any arrival order.
-    """
-    aggregator = DeepStreamingAggregator()
-    # replayed_cells counts deep *cells* (like the streaming fold's
-    # UnitReport accounting), not rows — one subexpression cell owns
-    # many rows
-    cells: set[tuple[str, str, str, str]] = set()
-    for row in store.scan_deep(predicate):
-        aggregator.add(row)
-        cells.add((row.query, row.kind, row.estimator, row.config))
-    aggregator.replayed_cells = len(cells)
-    return aggregator.summary()
+    return aggregate_cells(store, DEEP_KIND, predicate)
 
 
 def aggregate_store(
@@ -728,16 +749,7 @@ def aggregate_store(
     predicate: Callable[[SweepRow], bool] | None = None,
     exact: bool = True,
 ) -> AggregateSummary:
-    """Batch-fold every stored row of a result store into a summary.
+    """Batch-fold every stored sweep row: :func:`aggregate_cells` of sweep."""
+    from repro.pipeline.kinds import SWEEP_KIND
 
-    The scan's deterministic order plus the exact fold's sorted-key
-    summarisation make this reproducible — and identical to a streaming
-    fold over the same rows in any arrival order (exact mode).
-    """
-    aggregator = StreamingAggregator(exact=exact)
-    total = 0
-    for row in store.scan(predicate):
-        aggregator.add(row)
-        total += 1
-    aggregator.replayed_cells = total
-    return aggregator.summary()
+    return aggregate_cells(store, SWEEP_KIND, predicate, exact=exact)

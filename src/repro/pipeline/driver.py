@@ -25,6 +25,7 @@ changed.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 from repro.cardinality.qerror import q_error
@@ -46,18 +47,9 @@ from repro.pipeline.results import (
     UnitReport,
     deep_cell_key,
 )
-from repro.pipeline.scheduler import (
-    DeepScheduler,
-    SweepScheduler,
-    gather_rows,
-)
+from repro.pipeline.scheduler import CellScheduler
 from repro.pipeline.tasks import (
-    DeepCell,
-    DeepUnit,
-    SweepCell,
-    SweepUnit,
-    decompose,
-    decompose_deep,
+    CellUnit,
     deep_config_fingerprint,
     make_database,
     spec_queries,
@@ -314,12 +306,10 @@ def price_deep_cells(
 # --------------------------------------------------------------------- #
 
 
-def _cell_row_key(cell: SweepCell) -> tuple[str, str, str]:
-    return (cell.key.query, cell.key.estimator, cell.key.config_fingerprint)
-
-
-def run_sweep(
-    spec: SweepSpec,
+def run_cells(
+    spec,
+    kind,
+    *,
     processes: int = 1,
     truth_root: str | Path | None = None,
     resources: WorkloadResources | None = None,
@@ -327,22 +317,29 @@ def run_sweep(
     resume: bool = True,
     progress=None,
     stream_csv: str | Path | None = None,
-) -> SweepResult:
-    """Run the grid incrementally; sequential by default, pooled on request.
+):
+    """Run any kind's grid incrementally: the one orchestration core.
+
+    Every former per-kind driver duty is here exactly once — resume
+    delta against the result store, largest-first scheduling through
+    :class:`~repro.pipeline.scheduler.CellScheduler`, per-unit persist
+    and progress reporting, canonical gathering — parameterised by a
+    :class:`~repro.pipeline.kinds.CellKind`.  ``run_sweep`` and
+    ``run_deep_sweep`` are thin wrappers.
 
     ``resources`` may be passed to reuse an already-built workload in
-    sequential mode (the parallel path always rebuilds per worker so that
-    every process prices the grid against an identical database).
-
+    sequential mode (the parallel path always rebuilds per worker so
+    that every process prices the grid against an identical database).
     ``result_root`` attaches a persistent :class:`ResultStore`: cells
     priced by any previous run — any process, ever — are replayed from
     disk instead of recomputed, unless ``resume=False`` forces a full
-    re-price (the store is still updated).  ``progress`` is called with a
-    :class:`~repro.pipeline.results.UnitReport` as each unit completes;
-    ``stream_csv`` writes rows to that path as they arrive (flushed per
-    unit) and atomically canonicalises the file at the end.  Rows in the
-    returned result are always in canonical grid order, bit-identical
-    across sequential, pooled, and resumed runs.
+    re-price (the store is still updated).  ``progress`` is called with
+    a :class:`~repro.pipeline.results.UnitReport` as each unit
+    completes; ``stream_csv`` writes rows (in the kind's CSV schema) to
+    that path as they arrive and atomically canonicalises the file at
+    the end.  Rows in the returned result are always in canonical grid
+    order, bit-identical across sequential, pooled, resumed, and
+    queue-drained runs.
     """
     if resources is not None and truth_root is not None:
         raise ValueError(
@@ -355,62 +352,71 @@ def run_sweep(
             "use processes=1 or let workers rebuild from the spec"
         )
 
-    units = decompose(spec)
+    units = kind.decompose(spec)
     store = (
         ResultStore.for_spec(result_root, spec)
         if result_root is not None
         else None
     )
 
-    rows_by_cell: dict[tuple[str, str, str], SweepRow] = {}
-    cached_cells: dict[str, list[SweepCell]] = {u.query: [] for u in units}
-    pending_units: list[SweepUnit] = []
+    # (query, store key) -> the cell's priced value (one row for sweep
+    # cells, a complete row tuple for deep cells)
+    values: dict[tuple[str, object], object] = {}
+    cached_cells: dict[str, list] = {u.query: [] for u in units}
+    pending_units: list[CellUnit] = []
     # one manifest read answers the whole workload's replay question;
     # only per-query files that actually hold rows get opened
-    stored_rows = (
-        store.load_many([u.query for u in units])
+    stored = (
+        kind.load_stored(store, [u.query for u in units])
         if store is not None and resume
         else {}
     )
     for unit in units:
-        pending: list[SweepCell] = []
-        stored = stored_rows.get(unit.query, {})
+        pending = []
+        stored_q = stored.get(unit.query, {})
         for cell in unit.cells:
-            row = stored.get(
-                (cell.key.estimator, cell.key.config_fingerprint)
-            )
-            if row is not None:
-                rows_by_cell[_cell_row_key(cell)] = row
+            value = stored_q.get(kind.store_key(cell))
+            if value is not None:
+                values[(unit.query, kind.store_key(cell))] = value
                 cached_cells[unit.query].append(cell)
             else:
                 pending.append(cell)
         if pending:
-            pending_units.append(
-                SweepUnit(
-                    query=unit.query,
-                    n_relations=unit.n_relations,
-                    workload_index=unit.workload_index,
-                    cells=tuple(pending),
-                )
-            )
+            pending_units.append(replace(unit, cells=tuple(pending)))
 
     n_cached = sum(len(cells) for cells in cached_cells.values())
     n_priced = sum(len(u.cells) for u in pending_units)
     from repro.pipeline.instrument import COUNTERS
 
-    COUNTERS.rows_replayed += n_cached
+    COUNTERS.rows_replayed += sum(
+        len(kind.cell_rows(value)) for value in values.values()
+    )
     total_units = len(units)
     writer = (
-        CsvStreamWriter(stream_csv) if stream_csv is not None else None
+        CsvStreamWriter(stream_csv, fields=kind.csv_fields)
+        if stream_csv is not None
+        else None
     )
-    scheduler: SweepScheduler | None = None
+    scheduler: CellScheduler | None = None
     completed = 0
+    full_units = {u.query: u for u in units}
+
+    def _unit_rows(unit: CellUnit) -> list:
+        # the unit's cells are already in canonical order (decompose's
+        # query → config → estimator nesting), so walking them flattens
+        # the unit's full row set in output order
+        rows: list = []
+        for cell in unit.cells:
+            value = values.get((unit.query, kind.store_key(cell)))
+            if value is not None:
+                rows.extend(kind.cell_rows(value))
+        return rows
 
     def _report(
         query: str,
         priced: int,
         cached: int,
-        unit_rows: list[SweepRow],
+        unit_rows: list,
         unit_seconds: float,
     ) -> None:
         if progress is not None:
@@ -433,47 +439,43 @@ def run_sweep(
             if unit.query in pending_names:
                 continue
             completed += 1
-            unit_rows = [rows_by_cell[_cell_row_key(c)] for c in unit.cells]
+            unit_rows = _unit_rows(unit)
             if writer is not None:
                 writer.write(unit_rows)
             _report(unit.query, 0, len(unit.cells), unit_rows, 0.0)
 
-        def _on_complete(
-            unit: SweepUnit, rows: list[SweepRow], seconds: float
-        ) -> None:
+        def _on_complete(unit: CellUnit, raw, seconds: float) -> None:
             nonlocal completed
             completed += 1
-            priced_cells = dict(zip(unit.cells, rows))
-            for cell, row in priced_cells.items():
-                rows_by_cell[_cell_row_key(cell)] = row
+            priced = kind.normalize(unit.cells, raw)
+            for cell, value in priced.items():
+                values[(unit.query, kind.store_key(cell))] = value
             if store is not None:
-                store.save(
+                kind.save_stored(
+                    store,
                     unit.query,
                     {
-                        (cell.key.estimator, cell.key.config_fingerprint): row
-                        for cell, row in priced_cells.items()
+                        kind.store_key(cell): value
+                        for cell, value in priced.items()
                     },
                 )
             # the unit's full row set (replayed cells included) in
             # canonical order: streamed to CSV so the mid-run file always
             # holds complete units, and carried on the progress report so
             # streaming aggregators fold whole units
-            unit_cells = sorted(
-                list(priced_cells) + cached_cells[unit.query],
-                key=lambda c: c.order,
-            )
-            unit_rows = [rows_by_cell[_cell_row_key(c)] for c in unit_cells]
+            unit_rows = _unit_rows(full_units[unit.query])
             if writer is not None:
                 writer.write(unit_rows)
             _report(
                 unit.query,
-                len(rows),
+                len(priced),
                 len(cached_cells[unit.query]),
                 unit_rows,
                 seconds,
             )
 
-        scheduler = SweepScheduler(
+        scheduler = CellScheduler(
+            kind,
             spec,
             processes=processes,
             truth_root=truth_root,
@@ -481,7 +483,9 @@ def run_sweep(
         )
         scheduler.run(pending_units, _on_complete)
 
-        all_rows = gather_rows(units, rows_by_cell)
+        all_rows: list = []
+        for unit in units:
+            all_rows.extend(_unit_rows(unit))
         if writer is not None:
             writer.finalize(all_rows)
     finally:
@@ -492,21 +496,36 @@ def run_sweep(
             and scheduler is not None
             and scheduler.resources is not None
         ):
-            # the sweep built its own resources: shut down any oracle
+            # the run built its own resources: shut down any oracle
             # worker pool rather than leave idle processes behind (a
             # caller-provided resources object keeps its warm pool)
             scheduler.resources.truth.close()
-    return SweepResult(
-        spec=spec,
-        rows=all_rows,
-        priced_cells=n_priced,
-        cached_cells=n_cached,
-    )
+    return kind.make_result(spec, all_rows, n_priced, n_cached)
 
 
-def _deep_cell_store_key(cell: DeepCell) -> str:
-    return deep_cell_key(
-        cell.key.kind, cell.key.estimator, cell.key.config_fingerprint
+def run_sweep(
+    spec: SweepSpec,
+    processes: int = 1,
+    truth_root: str | Path | None = None,
+    resources: WorkloadResources | None = None,
+    result_root: str | Path | None = None,
+    resume: bool = True,
+    progress=None,
+    stream_csv: str | Path | None = None,
+) -> SweepResult:
+    """Run the shallow grid: :func:`run_cells` of the sweep kind."""
+    from repro.pipeline.kinds import SWEEP_KIND
+
+    return run_cells(
+        spec,
+        SWEEP_KIND,
+        processes=processes,
+        truth_root=truth_root,
+        resources=resources,
+        result_root=result_root,
+        resume=resume,
+        progress=progress,
+        stream_csv=stream_csv,
     )
 
 
@@ -518,151 +537,25 @@ def run_deep_sweep(
     result_root: str | Path | None = None,
     resume: bool = True,
     progress=None,
+    stream_csv: str | Path | None = None,
 ) -> DeepResult:
-    """Run the deep measurement grid incrementally.
+    """Run the deep measurement grid: :func:`run_cells` of the deep kind.
 
-    The deep twin of :func:`run_sweep`, under the same contract: with
-    ``result_root`` pointing at a warm store the whole grid replays from
-    disk — zero database generation, zero pricing — and a changed spec
-    re-prices exactly the cells whose content key changed.  Deep cells
-    live in the same per-query files as sweep rows but have their own
-    identity (:class:`~repro.pipeline.tasks.DeepCellKey`), so deep and
-    shallow sweeps warm each other's truth cache without ever
-    invalidating each other's rows.  Rows come back in canonical grid
-    order, bit-identical across sequential, pooled, and resumed runs.
+    Deep cells live in the same per-query files as sweep rows but have
+    their own identity (:class:`~repro.pipeline.tasks.DeepCellKey`), so
+    deep and shallow sweeps warm each other's truth cache without ever
+    invalidating each other's rows.
     """
-    if resources is not None and truth_root is not None:
-        raise ValueError(
-            "pass either truth_root or a resources object carrying its own "
-            "truth_store, not both"
-        )
-    if resources is not None and processes > 1:
-        raise ValueError(
-            "a prebuilt resources object cannot cross process boundaries; "
-            "use processes=1 or let workers rebuild from the spec"
-        )
+    from repro.pipeline.kinds import DEEP_KIND
 
-    units = decompose_deep(spec)
-    store = (
-        ResultStore.for_spec(result_root, spec)
-        if result_root is not None
-        else None
-    )
-
-    rows_by_cell: dict[tuple[str, str], tuple[DeepRow, ...]] = {}
-    cached_cells: dict[str, list[DeepCell]] = {u.query: [] for u in units}
-    pending_units: list[DeepUnit] = []
-    stored_cells = (
-        store.load_many_deep([u.query for u in units])
-        if store is not None and resume
-        else {}
-    )
-    for unit in units:
-        pending: list[DeepCell] = []
-        stored = stored_cells.get(unit.query, {})
-        for cell in unit.cells:
-            rows = stored.get(_deep_cell_store_key(cell))
-            if rows is not None:
-                rows_by_cell[(unit.query, _deep_cell_store_key(cell))] = rows
-                cached_cells[unit.query].append(cell)
-            else:
-                pending.append(cell)
-        if pending:
-            pending_units.append(
-                DeepUnit(
-                    query=unit.query,
-                    n_relations=unit.n_relations,
-                    workload_index=unit.workload_index,
-                    cells=tuple(pending),
-                )
-            )
-
-    n_cached = sum(len(cells) for cells in cached_cells.values())
-    n_priced = sum(len(u.cells) for u in pending_units)
-    from repro.pipeline.instrument import COUNTERS
-
-    COUNTERS.rows_replayed += sum(
-        len(rows) for rows in rows_by_cell.values()
-    )
-    total_units = len(units)
-    scheduler: DeepScheduler | None = None
-    completed = 0
-
-    def _unit_rows(unit: DeepUnit) -> tuple[DeepRow, ...]:
-        rows: list[DeepRow] = []
-        for cell in unit.cells:
-            rows.extend(
-                rows_by_cell.get(
-                    (unit.query, _deep_cell_store_key(cell)), ()
-                )
-            )
-        return tuple(rows)
-
-    def _report(
-        query: str, priced: int, cached: int, unit_rows, unit_seconds: float
-    ) -> None:
-        if progress is not None:
-            progress(
-                UnitReport(
-                    query=query,
-                    index=completed,
-                    total=total_units,
-                    priced=priced,
-                    cached=cached,
-                    unit_seconds=unit_seconds,
-                    rows=tuple(unit_rows),
-                )
-            )
-
-    try:
-        pending_names = {u.query for u in pending_units}
-        full_units = {u.query: u for u in units}
-        for unit in units:
-            if unit.query in pending_names:
-                continue
-            completed += 1
-            _report(unit.query, 0, len(unit.cells), _unit_rows(unit), 0.0)
-
-        def _on_complete(
-            unit: DeepUnit,
-            priced_cells: dict[str, tuple[DeepRow, ...]],
-            seconds: float,
-        ) -> None:
-            nonlocal completed
-            completed += 1
-            for cell_key, rows in priced_cells.items():
-                rows_by_cell[(unit.query, cell_key)] = rows
-            if store is not None:
-                store.save_deep(unit.query, priced_cells)
-            _report(
-                unit.query,
-                len(priced_cells),
-                len(cached_cells[unit.query]),
-                _unit_rows(full_units[unit.query]),
-                seconds,
-            )
-
-        scheduler = DeepScheduler(
-            spec,
-            processes=processes,
-            truth_root=truth_root,
-            resources=resources,
-        )
-        scheduler.run(pending_units, _on_complete)
-    finally:
-        if (
-            resources is None
-            and scheduler is not None
-            and scheduler.resources is not None
-        ):
-            scheduler.resources.truth.close()
-
-    all_rows: list[DeepRow] = []
-    for unit in units:
-        all_rows.extend(_unit_rows(unit))
-    return DeepResult(
-        spec=spec,
-        rows=all_rows,
-        priced_cells=n_priced,
-        cached_cells=n_cached,
+    return run_cells(
+        spec,
+        DEEP_KIND,
+        processes=processes,
+        truth_root=truth_root,
+        resources=resources,
+        result_root=result_root,
+        resume=resume,
+        progress=progress,
+        stream_csv=stream_csv,
     )

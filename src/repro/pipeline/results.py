@@ -468,20 +468,27 @@ class UnitReport:
 
 
 class CsvStreamWriter:
-    """Write sweep rows to CSV incrementally, then canonicalise.
+    """Write rows of one kind to CSV incrementally, then canonicalise.
 
     While the sweep runs, rows land in **completion order** and the file
     is flushed (and fsync'd) after every unit, so a concurrent reader —
     or a run killed halfway — always sees a valid CSV of complete rows.
     :meth:`finalize` atomically replaces the file with the rows in
     canonical grid order, making the finished file byte-identical no
-    matter how the run was scheduled or resumed.
+    matter how the run was scheduled or resumed.  ``fields`` is the row
+    dataclass's column schema — :data:`ROW_FIELDS` (the default) for
+    sweep rows, :data:`DEEP_ROW_FIELDS` for deep rows.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, fields: tuple[str, ...] = ROW_FIELDS
+    ) -> None:
         self.path = Path(path)
+        self.fields = tuple(fields)
         self._handle: io.TextIOWrapper | None = self.path.open("w", newline="")
-        self._writer = csv.DictWriter(self._handle, fieldnames=list(ROW_FIELDS))
+        self._writer = csv.DictWriter(
+            self._handle, fieldnames=list(self.fields)
+        )
         self._writer.writeheader()
         self._flush()
 
@@ -505,7 +512,7 @@ class CsvStreamWriter:
         )
         try:
             with os.fdopen(fd, "w", newline="") as handle:
-                writer = csv.DictWriter(handle, fieldnames=list(ROW_FIELDS))
+                writer = csv.DictWriter(handle, fieldnames=list(self.fields))
                 writer.writeheader()
                 for row in rows:
                     writer.writerow(asdict(row))

@@ -1,4 +1,4 @@
-"""Scheduler layer: order, fan out, and gather sweep work units.
+"""Scheduler layer: order, fan out, and gather work units of any kind.
 
 Work units (one query each, see :mod:`repro.pipeline.tasks`) run
 **largest-first**: descending ``n_relations``, workload order as the
@@ -11,21 +11,25 @@ its cached cells, always observes one schedule.
 
 Execution order is therefore *not* output order.  Units report
 completion as they finish (that is what makes streaming reports
-possible), and :func:`gather_rows` re-sorts the collected rows by their
-cells' canonical ``order`` at the end — so pooled, resumed, and
-largest-first runs all emit bit-identical row sequences.
+possible), and the driver re-sorts the collected rows into canonical
+cell order at the end — so pooled, resumed, and largest-first runs all
+emit bit-identical row sequences.
 
-The pool plumbing ships ``(query name, cell index pairs)`` to workers;
-workers rebuild the world deterministically from the spec they received
-at initialisation, exactly like the original driver did.
+There is exactly **one** scheduler: :class:`CellScheduler` is
+parameterised by a :class:`~repro.pipeline.kinds.CellKind`, which owns
+the unit pricing function.  The pool plumbing ships ``(query name,
+cell index pairs)`` to workers; workers rebuild the world
+deterministically from the (kind name, spec) pair they received at
+initialisation — one initializer, one worker shim, for every row kind.
 
-The truth oracle has a pool of its own (``SweepSpec.oracle_processes``,
-see :mod:`repro.cardinality.truth_plan`): the sequential path gives it
-to every unit, and when exactly one unit is pending — the classic
-"29a is the last straggler" resume — the scheduler skips the unit pool
-entirely and dedicates the machine to the oracle.  Pool workers always
-run their oracle sequentially (they are daemonic, and the unit pool
-already owns the machine); every mode produces bit-identical rows.
+The truth oracle has a pool of its own (``oracle_processes`` on either
+spec kind, see :mod:`repro.cardinality.truth_plan`): the sequential
+path gives it to every unit, and when exactly one unit is pending — the
+classic "29a is the last straggler" resume — the scheduler skips the
+unit pool entirely and dedicates the machine to the oracle.  Pool
+workers always run their oracle sequentially (they are daemonic, and
+the unit pool already owns the machine); every mode produces
+bit-identical rows.
 """
 
 from __future__ import annotations
@@ -36,40 +40,21 @@ from collections.abc import Callable, Sequence
 from dataclasses import replace
 from pathlib import Path
 
-from repro.pipeline.grid import DeepSpec, SweepRow, SweepSpec
-from repro.pipeline.tasks import DeepCell, DeepUnit, SweepCell, SweepUnit
+from repro.pipeline.tasks import CellUnit
 
-#: callback invoked as each unit completes: (unit, freshly priced result
-#: — a row list for sweep units, a cell-key → rows dict for deep units —
-#: and pricing wall seconds, measured where the work ran, so pooled
-#: units report worker-side time without IPC overhead)
-UnitCallback = Callable[[SweepUnit, list[SweepRow], float], None]
+#: callback invoked as each unit completes: (unit, the kind's raw
+#: pricing payload, and pricing wall seconds, measured where the work
+#: ran, so pooled units report worker-side time without IPC overhead)
+UnitCallback = Callable[[CellUnit, object, float], None]
 
 
-def order_units(units: Sequence[SweepUnit | DeepUnit]) -> list:
+def order_units(units: Sequence[CellUnit]) -> list[CellUnit]:
     """Largest-first schedule: descending ``n_relations``, stable."""
     return sorted(units, key=lambda u: (-u.n_relations, u.workload_index))
 
 
-def gather_rows(
-    units: Sequence[SweepUnit],
-    rows_by_cell: dict[tuple[str, str, str], SweepRow],
-) -> list[SweepRow]:
-    """Re-sort gathered rows into canonical grid order.
-
-    ``rows_by_cell`` is keyed by ``(query, estimator, fingerprint)`` —
-    the per-run-unique remainder of the cell key.  Missing cells are
-    skipped (a unit may have been interrupted); extra rows are ignored.
-    """
-    ordered: list[SweepRow] = []
-    for unit in units:
-        for cell in unit.cells:
-            row = rows_by_cell.get(
-                (cell.key.query, cell.key.estimator, cell.key.config_fingerprint)
-            )
-            if row is not None:
-                ordered.append(row)
-    return ordered
+def _cell_pairs(cells) -> tuple[tuple[int, int], ...]:
+    return tuple((c.config_index, c.estimator_index) for c in cells)
 
 
 # --------------------------------------------------------------------- #
@@ -81,68 +66,54 @@ def gather_rows(
 _WORKER: dict = {}
 
 
-def _init_worker(spec: SweepSpec | DeepSpec, truth_root: str | None) -> None:
+def _init_worker(kind_name: str, spec, truth_root: str | None) -> None:
     from repro.pipeline.driver import build_resources
+    from repro.pipeline.kinds import KINDS
 
     # pool workers are daemonic and cannot fork oracle workers of their
     # own; with several units in flight the unit pool already owns the
     # machine, so each worker runs its oracle sequentially
     if spec.oracle_processes > 1:
         spec = replace(spec, oracle_processes=1)
+    _WORKER["kind"] = KINDS[kind_name]
     _WORKER["spec"] = spec
     _WORKER["resources"] = build_resources(spec, truth_root)
 
 
 def _run_unit(
     payload: tuple[str, tuple[tuple[int, int], ...]]
-) -> tuple[str, list[SweepRow], float]:
-    from repro.pipeline.driver import price_cells
-
+) -> tuple[str, object, float]:
+    """The one pool-worker shim: price any kind's unit, report its time."""
     query_name, pairs = payload
-    spec: SweepSpec = _WORKER["spec"]
+    kind = _WORKER["kind"]
+    spec = _WORKER["spec"]
     resources = _WORKER["resources"]
     started = time.perf_counter()
-    rows = price_cells(resources, resources.query(query_name), spec, pairs)
-    return query_name, rows, time.perf_counter() - started
+    raw = kind.price_raw(resources, resources.query(query_name), spec, pairs)
+    return query_name, raw, time.perf_counter() - started
 
 
-def _run_deep_unit(
-    payload: tuple[str, tuple[tuple[int, int], ...]]
-) -> tuple[str, dict, float]:
-    from repro.pipeline.driver import price_deep_cells
-
-    query_name, pairs = payload
-    spec: DeepSpec = _WORKER["spec"]
-    resources = _WORKER["resources"]
-    started = time.perf_counter()
-    cells = price_deep_cells(
-        resources, resources.query(query_name), spec, pairs
-    )
-    return query_name, cells, time.perf_counter() - started
-
-
-def _cell_pairs(
-    cells: Sequence[SweepCell | DeepCell],
-) -> tuple[tuple[int, int], ...]:
-    return tuple((c.config_index, c.estimator_index) for c in cells)
-
-
-class SweepScheduler:
+class CellScheduler:
     """Runs pending units — sequentially or across a pool — largest-first.
 
     The scheduler prices only what it is handed: callers pass units whose
     ``cells`` are the still-unpriced delta (the result store already
-    served the rest).  Resources for the sequential path are built
-    lazily, so a fully cached sweep never generates its database at all.
+    served the rest).  The unit pricing function is the kind's
+    (:meth:`~repro.pipeline.kinds.CellKind.price_raw`); everything else —
+    ordering, fan-out, oracle policy, completion reporting — is shared by
+    every row kind.  Resources for the sequential path are built lazily,
+    so a fully cached sweep never generates its database at all.
     """
 
     def __init__(
         self,
-        spec: SweepSpec,
+        kind,
+        spec,
         processes: int = 1,
         truth_root: str | Path | None = None,
         resources=None,
     ) -> None:
+        self.kind = kind
         self.spec = spec
         self.processes = processes
         self.truth_root = truth_root
@@ -150,15 +121,15 @@ class SweepScheduler:
 
     def run(
         self,
-        units: Sequence[SweepUnit],
+        units: Sequence[CellUnit],
         on_complete: UnitCallback | None = None,
-    ) -> dict[str, list[SweepRow]]:
+    ) -> dict[str, object]:
         """Price every cell of ``units``; report units as they finish.
 
-        Returns freshly priced rows keyed by query name.  ``on_complete``
-        fires in completion order — under a pool that order is
-        nondeterministic, which is why callers must re-sort via
-        :func:`gather_rows` before emitting final output.
+        Returns the kind's raw pricing payloads keyed by query name.
+        ``on_complete`` fires in completion order — under a pool that
+        order is nondeterministic, which is why the driver re-sorts into
+        canonical cell order before emitting final output.
         """
         ordered = order_units(units)
         if not ordered:
@@ -174,43 +145,33 @@ class SweepScheduler:
 
     # ------------------------------------------------------------------ #
 
-    #: module-level function pool workers run per unit (overridden by
-    #: :class:`DeepScheduler`)
-    _pool_task = staticmethod(_run_unit)
-
-    def _price_unit(self, resources, unit):
-        """Price one unit's cells in-process (sequential path)."""
-        from repro.pipeline import driver
-
-        return driver.price_cells(
-            resources,
-            resources.query(unit.query),
-            self.spec,
-            _cell_pairs(unit.cells),
-        )
-
     def _run_sequential(
-        self, ordered: list[SweepUnit], on_complete: UnitCallback | None
-    ) -> dict[str, list[SweepRow]]:
+        self, ordered: list[CellUnit], on_complete: UnitCallback | None
+    ) -> dict[str, object]:
         from repro.pipeline import driver
 
         resources = self.resources
         if resources is None:
             resources = driver.build_resources(self.spec, self.truth_root)
             self.resources = resources
-        priced: dict[str, list[SweepRow]] = {}
+        priced: dict[str, object] = {}
         for unit in ordered:
             started = time.perf_counter()
-            rows = self._price_unit(resources, unit)
+            raw = self.kind.price_raw(
+                resources,
+                resources.query(unit.query),
+                self.spec,
+                _cell_pairs(unit.cells),
+            )
             elapsed = time.perf_counter() - started
-            priced[unit.query] = rows
+            priced[unit.query] = raw
             if on_complete is not None:
-                on_complete(unit, rows, elapsed)
+                on_complete(unit, raw, elapsed)
         return priced
 
     def _run_pooled(
-        self, ordered: list[SweepUnit], on_complete: UnitCallback | None
-    ) -> dict[str, list[SweepRow]]:
+        self, ordered: list[CellUnit], on_complete: UnitCallback | None
+    ) -> dict[str, object]:
         by_query = {unit.query: unit for unit in ordered}
         payloads = [
             (unit.query, _cell_pairs(unit.cells)) for unit in ordered
@@ -219,39 +180,16 @@ class SweepScheduler:
             str(self.truth_root) if self.truth_root is not None else None
         )
         ctx = multiprocessing.get_context()
-        priced: dict[str, list[SweepRow]] = {}
+        priced: dict[str, object] = {}
         with ctx.Pool(
             processes=min(self.processes, max(len(payloads), 1)),
             initializer=_init_worker,
-            initargs=(self.spec, truth_arg),
+            initargs=(self.kind.name, self.spec, truth_arg),
         ) as pool:
-            for query_name, rows, seconds in pool.imap_unordered(
-                type(self)._pool_task, payloads, chunksize=1
+            for query_name, raw, seconds in pool.imap_unordered(
+                _run_unit, payloads, chunksize=1
             ):
-                priced[query_name] = rows
+                priced[query_name] = raw
                 if on_complete is not None:
-                    on_complete(by_query[query_name], rows, seconds)
+                    on_complete(by_query[query_name], raw, seconds)
         return priced
-
-
-class DeepScheduler(SweepScheduler):
-    """Runs pending *deep* units under the same schedule discipline.
-
-    Identical ordering, fan-out, and oracle policy as
-    :class:`SweepScheduler`; the only difference is the pricing function
-    — units resolve to
-    :func:`~repro.pipeline.driver.price_deep_cells`, whose result is a
-    deep-cell-key → row-tuple dict rather than a row list.
-    """
-
-    _pool_task = staticmethod(_run_deep_unit)
-
-    def _price_unit(self, resources, unit):
-        from repro.pipeline import driver
-
-        return driver.price_deep_cells(
-            resources,
-            resources.query(unit.query),
-            self.spec,
-            _cell_pairs(unit.cells),
-        )

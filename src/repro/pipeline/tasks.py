@@ -168,13 +168,39 @@ class SweepCell:
 
 
 @dataclass(frozen=True)
-class SweepUnit:
-    """One query's cells: the unit of scheduling and of result storage."""
+class CellUnit:
+    """One query's cells: the unit of scheduling and of result storage.
+
+    Kind-agnostic — ``cells`` holds :class:`SweepCell`\\ s or
+    :class:`DeepCell`\\ s depending on which
+    :class:`~repro.pipeline.kinds.CellKind` decomposed the spec; the
+    generic scheduler, driver, and work queue only touch the fields
+    spelled here.
+    """
 
     query: str
     n_relations: int
     workload_index: int
-    cells: tuple[SweepCell, ...]
+    cells: tuple
+
+    def restrict(self, pairs) -> "CellUnit":
+        """The sub-unit holding only the cells at the given coordinates."""
+        wanted = set(pairs)
+        return CellUnit(
+            query=self.query,
+            n_relations=self.n_relations,
+            workload_index=self.workload_index,
+            cells=tuple(
+                c
+                for c in self.cells
+                if (c.config_index, c.estimator_index) in wanted
+            ),
+        )
+
+
+#: kept as aliases — the unit shape is kind-independent
+SweepUnit = CellUnit
+DeepUnit = CellUnit
 
 
 def spec_queries(spec: SweepSpec | DeepSpec) -> list[Query]:
@@ -227,17 +253,7 @@ class DeepCell:
     order: int
 
 
-@dataclass(frozen=True)
-class DeepUnit:
-    """One query's deep cells — the unit of scheduling and storage."""
-
-    query: str
-    n_relations: int
-    workload_index: int
-    cells: tuple[DeepCell, ...]
-
-
-def decompose_deep(spec: DeepSpec) -> list[DeepUnit]:
+def decompose_deep(spec: DeepSpec) -> list[CellUnit]:
     """Break a deep spec into per-query units of addressable cells.
 
     Mirrors :func:`decompose`: canonical workload order, globally
