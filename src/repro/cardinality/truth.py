@@ -80,6 +80,18 @@ class _QueryState:
         self.unfiltered_counts: dict[tuple[int, str], int] = {}
         self.results: dict[int, _KeyedResult] = {}
         self.base_row_ids: dict[str, np.ndarray] = {}
+        self.outgoing: dict[int, frozenset] = {}
+        # per-edge (left bit, right bit, left key, right key) tuples,
+        # hoisted out of the per-subset outgoing-column scans
+        self.edge_meta: list[tuple[int, int, tuple, tuple]] = [
+            (
+                query.alias_bit(edge.left_alias),
+                query.alias_bit(edge.right_alias),
+                (edge.left_alias, edge.side(edge.left_alias)[1]),
+                (edge.right_alias, edge.side(edge.right_alias)[1]),
+            )
+            for edge in query.joins
+        ]
         self.complete_cover: int | None | bool = False
         self._plan: "MaterialisationPlan | None" = None  # noqa: F821
 
@@ -138,10 +150,17 @@ class TrueCardinalities(CardinalityEstimator):
         db: Database,
         max_rows: int = 50_000_000,
         max_cached_queries: int = 32,
+        kernels: str | None = None,
     ) -> None:
+        from repro.kernels import resolve_backend
+
+        if kernels is not None:
+            resolve_backend(kernels)  # validate eagerly
         self.db = db
         self.max_rows = max_rows
         self.max_cached_queries = max_cached_queries
+        #: kernel backend override; ``None`` defers to ``$REPRO_KERNELS``
+        self.kernels = kernels
         self._states: "weakref.WeakValueDictionary[int, _QueryState]" = (
             weakref.WeakValueDictionary()
         )
@@ -152,6 +171,12 @@ class TrueCardinalities(CardinalityEstimator):
         self._pool_processes = 0
 
     # ------------------------------------------------------------------ #
+
+    def _backend(self) -> str:
+        """The active kernel backend for this oracle's joins."""
+        from repro.kernels import resolve_backend
+
+        return resolve_backend(self.kernels)
 
     def _state(self, query: Query) -> _QueryState:
         key = id(query)
@@ -262,8 +287,13 @@ class TrueCardinalities(CardinalityEstimator):
                 )
             parent, bit = state.catalog.expansion_parent(subset)
             left = self._materialize(state, parent)
-            right = self._singleton_result(state, bit)
-            result = self._join(state, subset, parent, left, bit, right)
+            if self._backend() == "numpy":
+                from repro.kernels.oracle import expand_join
+
+                result = expand_join(self, state, subset, parent, left, bit)
+            else:
+                right = self._singleton_result(state, bit)
+                result = self._join(state, subset, parent, left, bit, right)
         state.results[subset] = result
         state.counts[subset] = result.n_rows
         return result
@@ -308,20 +338,26 @@ class TrueCardinalities(CardinalityEstimator):
 
     def _outgoing_key_columns(
         self, state: _QueryState, subset: int
-    ) -> set[tuple[str, str]]:
-        """Key columns of edges that leave ``subset`` (still joinable)."""
-        query = state.query
+    ) -> frozenset[tuple[str, str]]:
+        """Key columns of edges that leave ``subset`` (still joinable).
+
+        Cached per subset on the query state: the edge scan is O(query
+        edges) and every ``_join`` of every repeated materialisation of
+        ``subset`` needs the same answer.
+        """
+        cached = state.outgoing.get(subset)
+        if cached is not None:
+            return cached
         out: set[tuple[str, str]] = set()
-        for edge in query.joins:
-            left_bit = query.alias_bit(edge.left_alias)
-            right_bit = query.alias_bit(edge.right_alias)
-            inside_left = bool(left_bit & subset)
-            inside_right = bool(right_bit & subset)
-            if inside_left != inside_right:
-                alias = edge.left_alias if inside_left else edge.right_alias
-                _, col = edge.side(alias)
-                out.add((alias, col))
-        return out
+        for left_bit, right_bit, left_key, right_key in state.edge_meta:
+            if left_bit & subset:
+                if not (right_bit & subset):
+                    out.add(left_key)
+            elif right_bit & subset:
+                out.add(right_key)
+        frozen = frozenset(out)
+        state.outgoing[subset] = frozen
+        return frozen
 
     # ------------------------------------------------------------------ #
     # unfiltered (pre-selection) intermediates for INLJ costing
@@ -340,6 +376,20 @@ class TrueCardinalities(CardinalityEstimator):
         count = state.unfiltered_counts.get(key)
         if count is not None:
             return count
+        side = getattr(state, "kernel_unfiltered_side", None)
+        if side is not None:
+            count = side.get(key)
+            if count is not None:
+                # promote the pre-warmed count (see the numpy kernel's
+                # compute_levels): guard + cache exactly as the lazy
+                # join below would
+                if count > self.max_rows:
+                    raise EstimationError(
+                        f"intermediate result of {query.name!r} exceeds "
+                        f"max_rows ({count} > {self.max_rows})"
+                    )
+                state.unfiltered_counts[key] = count
+                return count
         outer = subset ^ bit
         if not state.graph.is_connected(outer) or not state.graph.connects(
             outer, bit
@@ -349,10 +399,18 @@ class TrueCardinalities(CardinalityEstimator):
                 f"(subset {subset:#x}, alias {alias!r})"
             )
         left = self._materialize(state, outer)
-        right = self._singleton_result(state, bit, filtered=False)
-        joined = self._join(
-            state, subset, outer, left, bit, right, count_only=True
-        )
+        if self._backend() == "numpy":
+            from repro.kernels.oracle import expand_join
+
+            joined = expand_join(
+                self, state, subset, outer, left, bit,
+                filtered=False, count_only=True,
+            )
+        else:
+            right = self._singleton_result(state, bit, filtered=False)
+            joined = self._join(
+                state, subset, outer, left, bit, right, count_only=True
+            )
         state.unfiltered_counts[key] = joined.n_rows
         return joined.n_rows
 
@@ -365,6 +423,7 @@ class TrueCardinalities(CardinalityEstimator):
         query: Query,
         max_size: int | None = None,
         processes: int = 1,
+        warm_unfiltered: bool = False,
     ) -> dict[int, int]:
         """Exact counts for every connected subset up to ``max_size``.
 
@@ -378,6 +437,17 @@ class TrueCardinalities(CardinalityEstimator):
         the state's completeness claim (an earlier equal-or-wider
         ``compute_all``, or a preload that carried its coverage) returns
         from cache without touching the plan.
+
+        ``warm_unfiltered`` asks the sequential numpy walk to also count
+        each level's unfiltered-intermediate neighbours while the
+        level's materialisations are still live, into a memory-only
+        side cache — a caller that will price index-nested-loop joins
+        against this oracle avoids re-materialising evicted parents
+        later.  The knob is pure execution policy: entries only reach
+        the observable ``unfiltered_counts`` when (and in the order)
+        they are actually requested, so counts and stored bytes are
+        unchanged.  The python backend and the parallel executor ignore
+        it.
         """
         state = self._state(query)
         if state.covered(max_size):
@@ -388,6 +458,12 @@ class TrueCardinalities(CardinalityEstimator):
             from repro.cardinality.truth_plan import compute_plan_parallel
 
             compute_plan_parallel(self, state, plan, cap, processes)
+        elif self._backend() == "numpy":
+            from repro.kernels.oracle import compute_levels
+
+            compute_levels(
+                self, state, plan, cap, warm_unfiltered=warm_unfiltered
+            )
         else:
             for size in range(1, cap + 1):
                 if size > 1:

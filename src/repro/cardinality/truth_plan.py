@@ -123,7 +123,11 @@ _WORKER: dict = {}
 
 def _init_worker(db, max_rows: int) -> None:
     from repro.cardinality.truth import TrueCardinalities
+    from repro.util.threads import pin_math_threads
 
+    # the level-parallel pool owns the machine — one BLAS/OpenMP thread
+    # per worker, or the numpy kernels oversubscribe the cores
+    pin_math_threads(1)
     # workers serve exactly one query at a time (see _worker_state), so
     # an LRU of 1 keeps a long sweep's workers from accumulating counts
     # and singleton arrays of displaced queries

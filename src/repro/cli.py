@@ -511,6 +511,15 @@ def _store_flags() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print a progress line to stderr as each unit completes",
     )
+    p.add_argument(
+        "--kernels", default=None, choices=["python", "numpy"],
+        help=(
+            "hot-loop backend (default: $REPRO_KERNELS, else python). "
+            "Both are bit-identical — same counts, plans, and stored "
+            "rows — so this is pure execution policy, never part of a "
+            "sweep fingerprint"
+        ),
+    )
     return p
 
 
@@ -672,6 +681,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print a progress line to stderr as each unit completes",
     )
+    p_worker.add_argument(
+        "--kernels", default=None, choices=["python", "numpy"],
+        help=(
+            "hot-loop backend (default: $REPRO_KERNELS, else python); "
+            "bit-identical backends, pure execution policy"
+        ),
+    )
     p_worker.set_defaults(func=_cmd_work_worker)
 
     p_status = work_sub.add_parser(
@@ -687,4 +703,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None) is not None:
+        from repro.kernels import set_backend
+
+        # exported through the environment so pool workers (fork and
+        # spawn alike) inherit the choice without any spec plumbing
+        set_backend(args.kernels)
     return args.func(args)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.cardinality.base import BoundCard
 from repro.cost.base import CostModel
 from repro.plans.plan import JoinNode, ScanNode
@@ -58,3 +60,32 @@ class SimpleCostModel(CostModel):
                 + out_rows
             )
         raise ValueError(f"unknown algorithm {node.algorithm!r}")
+
+    def batch_join_costs(
+        self,
+        algo: np.ndarray,
+        out_rows: np.ndarray,
+        left_rows: np.ndarray,
+        right_rows: np.ndarray,
+        fetched: np.ndarray,
+    ) -> np.ndarray | None:
+        """Vectorized :meth:`join_cost` over candidate arrays.
+
+        This is the opt-in hook for the batched DP kernel
+        (:mod:`repro.kernels.dp`): ``algo`` carries per-candidate
+        algorithm codes (hash 0, nlj 1, inlj 2) and the cardinality
+        arrays are float64, so every arithmetic operation below is the
+        same IEEE double operation the scalar path performs.  Sort-merge
+        joins are never batched (the kernel falls back to the scalar
+        loop when they are enabled), and cardinalities are ≥ 1 by the
+        estimator contract, so ``np.maximum`` cannot diverge from
+        python's ``max`` on signed zeros.
+        """
+        op = out_rows.copy()  # hash: the operator's contribution is |T|
+        nlj = algo == 1
+        if nlj.any():
+            op[nlj] = left_rows[nlj] * right_rows[nlj]
+        inlj = algo == 2
+        if inlj.any():
+            op[inlj] = self.lam * np.maximum(fetched[inlj], left_rows[inlj])
+        return op

@@ -34,6 +34,13 @@ class DPEnumerator:
         engine, Figure 6a) / sort-merge joins.
     shape:
         Tree-shape restriction (default: bushy = unrestricted).
+    kernels:
+        Pricing-backend override (``"python"``/``"numpy"``); ``None``
+        defers to the context's backend, then ``REPRO_KERNELS``.  Under
+        the numpy backend, cost models that implement
+        ``batch_join_costs`` are priced one union-size level at a time
+        by :mod:`repro.kernels.dp` — plans and costs are bit-identical
+        to the scalar loop either way.
     """
 
     def __init__(
@@ -43,14 +50,29 @@ class DPEnumerator:
         allow_nlj: bool = False,
         allow_smj: bool = False,
         shape: TreeShape = TreeShape.BUSHY,
+        kernels: str | None = None,
     ) -> None:
         self.cost_model = cost_model
         self.design = design
         self.allow_nlj = allow_nlj
         self.allow_smj = allow_smj
         self.shape = shape
+        if kernels is not None:
+            from repro.kernels import resolve_backend
+
+            resolve_backend(kernels)  # eager validation
+        self.kernels = kernels
 
     # ------------------------------------------------------------------ #
+
+    def _backend(self, context: QueryContext) -> str:
+        """Pricing backend: enumerator override, else context, else env."""
+        from repro.kernels import resolve_backend
+
+        override = self.kernels
+        if override is None:
+            override = getattr(context, "kernels", None)
+        return resolve_backend(override)
 
     def _shape_admits(self, left: PlanNode, right: PlanNode) -> bool:
         if self.shape is TreeShape.BUSHY:
@@ -74,6 +96,14 @@ class DPEnumerator:
         under (``est_rows``), which the executor later uses for hash-table
         sizing.
         """
+        if self._backend(context) == "numpy":
+            from repro.kernels.dp import optimize_batched
+
+            batched = optimize_batched(self, context, card)
+            if batched is not None:
+                plan, cost = batched
+                annotate_estimates(plan, card)
+                return plan, cost
         query = context.query
         best: dict[int, tuple[float, PlanNode]] = {}
         for i in range(query.n_relations):

@@ -59,9 +59,17 @@ from repro.query.query import Query
 
 
 def build_resources(
-    spec: SweepSpec | DeepSpec, truth_root: str | Path | None = None
+    spec: SweepSpec | DeepSpec,
+    truth_root: str | Path | None = None,
+    kernels: str | None = None,
 ) -> WorkloadResources:
-    """Deterministically build the workload a spec describes."""
+    """Deterministically build the workload a spec describes.
+
+    ``kernels`` pins the pricing backend for this workload's oracle and
+    enumerators (``None`` defers to ``REPRO_KERNELS``); it is execution
+    policy, not part of the spec — both backends price every cell
+    bit-identically.
+    """
     db = make_database(
         spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
     )
@@ -75,7 +83,9 @@ def build_resources(
             correlation=spec.correlation,
             dataset=spec.dataset,
         )
-    return WorkloadResources(db=db, queries=queries, truth_store=store)
+    return WorkloadResources(
+        db=db, queries=queries, truth_store=store, kernels=kernels
+    )
 
 
 def price_cells(
@@ -104,7 +114,7 @@ def price_cells(
     # memory to two size-generations of compressed intermediates, whereas
     # letting DP pull counts on demand would cache every materialisation
     # of every size at once on a 13-relation query
-    ws.compute_truth(processes=spec.oracle_processes)
+    ws.compute_truth(processes=spec.oracle_processes, warm_unfiltered=True)
     tcard = ws.true_card
     all_mask = query.all_mask
     rows: list[SweepRow] = []
@@ -124,6 +134,7 @@ def price_cells(
             allow_nlj=config.allow_nlj,
             allow_smj=config.allow_smj,
             shape=config.shape,
+            kernels=resources.kernels,
         )
         _, optimal_cost = dp.optimize(ws.context, tcard)
         for e_index in estimator_indices:
@@ -216,7 +227,11 @@ def price_deep_cells(
         else:
             caps.append(config.max_subexpr_size)
     truth_cap = None if need_full or not caps else max(caps)
-    ws.compute_truth(max_size=truth_cap, processes=spec.oracle_processes)
+    ws.compute_truth(
+        max_size=truth_cap,
+        processes=spec.oracle_processes,
+        warm_unfiltered=need_full,
+    )
     tcard = ws.true_card
 
     cells: dict[str, tuple[DeepRow, ...]] = {}
@@ -263,7 +278,10 @@ def price_deep_cells(
             cost_model = resources.cost_model(config.cost_model)
             design = resources.design(config.indexes)
             dp = DPEnumerator(
-                cost_model, design, allow_nlj=config.allow_nlj
+                cost_model,
+                design,
+                allow_nlj=config.allow_nlj,
+                kernels=resources.kernels,
             )
             engine_cfg = (
                 EngineConfig(rehash=config.rehash)
@@ -412,6 +430,12 @@ def run_cells(
                 rows.extend(kind.cell_rows(value))
         return rows
 
+    from repro.kernels import resolve_backend
+
+    kernels = resolve_backend(
+        resources.kernels if resources is not None else None
+    )
+
     def _report(
         query: str,
         priced: int,
@@ -429,6 +453,7 @@ def run_cells(
                     cached=cached,
                     unit_seconds=unit_seconds,
                     rows=tuple(unit_rows),
+                    kernels=kernels,
                 )
             )
 

@@ -90,7 +90,7 @@ class QueryWorkspace:
     def __init__(self, query: Query, resources: "WorkloadResources") -> None:
         self.query = query
         self.resources = resources
-        self.context = QueryContext(query)
+        self.context = QueryContext(query, kernels=resources.kernels)
         self._cards: dict[str, BoundCard] = {}
         self._true_card: BoundCard | None = None
         self._truth_pin: object | None = None
@@ -155,7 +155,10 @@ class QueryWorkspace:
             self._stored_sizes = (len(payload.counts), len(payload.unfiltered))
 
     def compute_truth(
-        self, max_size: int | None = None, processes: int = 1
+        self,
+        max_size: int | None = None,
+        processes: int = 1,
+        warm_unfiltered: bool = False,
     ) -> dict[int, int]:
         """Exact counts for every connected subset up to ``max_size``.
 
@@ -165,11 +168,16 @@ class QueryWorkspace:
         newly widened coverage is written back.  ``processes > 1`` runs
         the oracle's bottom-up materialisation level-parallel (see
         :mod:`repro.cardinality.truth_plan`); counts and stored bytes
-        are bit-identical either way.
+        are bit-identical either way.  ``warm_unfiltered`` pre-counts
+        the unfiltered intermediates index-nested-loop pricing will ask
+        for (numpy backend only; pure execution policy).
         """
         self._ensure_truth_state()
         counts = self.resources.truth.compute_all(
-            self.query, max_size=max_size, processes=processes
+            self.query,
+            max_size=max_size,
+            processes=processes,
+            warm_unfiltered=warm_unfiltered,
         )
         full = self.graph.n
         if self._computed_cover is False or not _covers(
@@ -240,13 +248,21 @@ class WorkloadResources:
         estimators: dict[str, CardinalityEstimator] | None = None,
         truth: TrueCardinalities | None = None,
         truth_store=None,
+        kernels: str | None = None,
     ) -> None:
         self.db = db
         self.queries = list(queries)
         self.estimators = (
             estimators if estimators is not None else standard_estimators(db)
         )
-        self.truth = truth if truth is not None else TrueCardinalities(db)
+        if kernels is not None:
+            from repro.kernels import resolve_backend
+
+            resolve_backend(kernels)  # eager validation
+        self.kernels = kernels
+        self.truth = (
+            truth if truth is not None else TrueCardinalities(db, kernels=kernels)
+        )
         self.truth_store = truth_store
         self._workspaces: dict[str, QueryWorkspace] = {}
         self._designs: dict[IndexConfig, PhysicalDesign] = {}

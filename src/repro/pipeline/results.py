@@ -445,6 +445,9 @@ class UnitReport:
     cached: int
     unit_seconds: float = 0.0
     rows: tuple[SweepRow, ...] = ()
+    #: kernel backend that priced the unit ("python" / "numpy"); both
+    #: produce bit-identical rows, so this is provenance, not identity
+    kernels: str = "python"
 
     @property
     def cells_per_second(self) -> float:
@@ -455,7 +458,7 @@ class UnitReport:
 
     def render(self) -> str:
         source = "result cache" if self.priced == 0 else (
-            f"priced {self.priced}"
+            f"priced {self.priced} ({self.kernels})"
             + (f", {self.cached} cached" if self.cached else "")
         )
         timing = (

@@ -69,7 +69,11 @@ _WORKER: dict = {}
 def _init_worker(kind_name: str, spec, truth_root: str | None) -> None:
     from repro.pipeline.driver import build_resources
     from repro.pipeline.kinds import KINDS
+    from repro.util.threads import pin_math_threads
 
+    # the unit pool already owns the machine — one BLAS/OpenMP thread
+    # per worker, or the numpy kernels oversubscribe the cores
+    pin_math_threads(1)
     # pool workers are daemonic and cannot fork oracle workers of their
     # own; with several units in flight the unit pool already owns the
     # machine, so each worker runs its oracle sequentially

@@ -27,6 +27,18 @@ def is_connected(graph: JoinGraph, subset: int) -> bool:
     return graph.is_connected(subset)
 
 
+def _use_numpy_kernels(graph: JoinGraph) -> bool:
+    """Whether enumeration should go through the vectorized backend.
+
+    Graphs wider than the packed-int64 representation always take the
+    python path (the two backends are bit-identical, so mixing is safe).
+    """
+    from repro.kernels import active_backend
+    from repro.kernels.subgraph import MAX_VERTICES
+
+    return active_backend() == "numpy" and graph.n <= MAX_VERTICES
+
+
 def _enumerate_csg_rec(
     graph: JoinGraph, subset: int, exclude: int, out: list[int], max_size: int
 ) -> None:
@@ -52,7 +64,13 @@ def connected_subsets(graph: JoinGraph, max_size: int | None = None) -> list[int
 
     ``max_size`` caps the subset cardinality (used by the Figure 3
     experiment, which only needs subexpressions of up to 7 relations).
+    Under ``REPRO_KERNELS=numpy`` the level-wise vectorized expansion in
+    :mod:`repro.kernels.subgraph` produces the identical list.
     """
+    if _use_numpy_kernels(graph):
+        from repro.kernels.subgraph import connected_subsets_numpy
+
+        return connected_subsets_numpy(graph, max_size)
     cap = max_size if max_size is not None else graph.n
     out: list[int] = []
     for i in range(graph.n - 1, -1, -1):
@@ -104,6 +122,10 @@ def csg_cmp_pairs(graph: JoinGraph) -> list[tuple[int, int]]:
     Pairs are sorted by the size of ``S1 | S2`` so that a DP loop can
     process them in order, with both halves already solved.
     """
+    if _use_numpy_kernels(graph):
+        from repro.kernels.subgraph import csg_cmp_pairs_numpy
+
+        return csg_cmp_pairs_numpy(graph)
     pairs: list[tuple[int, int]] = []
     for s1 in connected_subsets(graph):
         _enumerate_cmp(graph, s1, pairs)
@@ -140,6 +162,7 @@ class SubgraphCatalog:
         self._pairs: list[tuple[int, int]] | None = None
         self._pair_edges: list[tuple[int, int, list[JoinEdge]]] | None = None
         self._parents: dict[int, tuple[int, int]] = {}
+        self._parents_prefilled = False
 
     @property
     def csgs(self) -> list[int]:
@@ -157,11 +180,16 @@ class SubgraphCatalog:
     def pair_edges(self) -> list[tuple[int, int, list[JoinEdge]]]:
         if self._pair_edges is None:
             graph = self.graph
-            self._pair_edges = [
-                (s1, s2, edges)
-                for s1, s2 in self.pairs
-                if (edges := graph.edges_between(s1, s2))
-            ]
+            if _use_numpy_kernels(graph):
+                from repro.kernels.subgraph import pair_edges_numpy
+
+                self._pair_edges = pair_edges_numpy(graph, self.pairs)
+            else:
+                self._pair_edges = [
+                    (s1, s2, edges)
+                    for s1, s2 in self.pairs
+                    if (edges := graph.edges_between(s1, s2))
+                ]
         return self._pair_edges
 
     def is_csg(self, subset: int) -> bool:
@@ -182,6 +210,16 @@ class SubgraphCatalog:
             return cached
         if popcount(subset) < 2:
             raise ValueError("expansion parent of a singleton subset")
+        if _use_numpy_kernels(self.graph) and not self._parents_prefilled:
+            from repro.kernels.subgraph import expansion_parents_numpy
+
+            self._parents_prefilled = True
+            prefilled = expansion_parents_numpy(self.graph, self.csgs)
+            prefilled.update(self._parents)  # keep any earlier answers
+            self._parents = prefilled
+            cached = self._parents.get(subset)
+            if cached is not None:
+                return cached
         for bit in bits_of(subset):
             rest = subset ^ bit
             if self.graph.is_connected(rest) and self.graph.connects(rest, bit):

@@ -16,31 +16,34 @@ import numpy as np
 from repro.catalog.column import NULL_INT
 
 
-def equi_join_indices(
-    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
-) -> tuple[np.ndarray, np.ndarray]:
-    """Row-index pairs matching on all key columns.
+def valid_key_rows(keys: Sequence[np.ndarray]) -> np.ndarray:
+    """Boolean mask of rows whose key columns are all non-NULL."""
+    valid = np.ones(len(keys[0]), dtype=bool)
+    for column in keys:
+        valid &= column != NULL_INT
+    return valid
 
-    ``left_keys[i]`` and ``right_keys[i]`` form the i-th equality
-    condition.  Returns ``(lidx, ridx)`` such that for every output row
-    ``k``: ``left_keys[i][lidx[k]] == right_keys[i][ridx[k]]`` for all i.
-    The result order is deterministic (sorted by right index, then left
-    run order).
+
+def combine_keys(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Composite int64 encoding of multi-column key tuples, both sides.
+
+    The factored-out encode shared by :func:`equi_join_indices` (the
+    execution engine's join path) and the truth oracle's vectorized
+    kernels: NULL rows are dropped, then the per-column values are folded
+    into one int64 code per row such that two rows match on every column
+    exactly when their codes are equal.  Returns ``(lcomb, rcomb, lids,
+    rids)`` where ``lids``/``rids`` map code positions back to original
+    row indices.  Either side may come back empty (no valid rows).
     """
     if len(left_keys) != len(right_keys) or not left_keys:
         raise ValueError("need the same positive number of key columns per side")
-    n_left = len(left_keys[0])
-    n_right = len(right_keys[0])
-    lvalid = np.ones(n_left, dtype=bool)
-    rvalid = np.ones(n_right, dtype=bool)
-    for lk in left_keys:
-        lvalid &= lk != NULL_INT
-    for rk in right_keys:
-        rvalid &= rk != NULL_INT
-    lids = np.nonzero(lvalid)[0]
-    rids = np.nonzero(rvalid)[0]
+    lids = np.nonzero(valid_key_rows(left_keys))[0]
+    rids = np.nonzero(valid_key_rows(right_keys))[0]
+    empty = np.empty(0, dtype=np.int64)
     if len(lids) == 0 or len(rids) == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return empty, empty, lids, rids
 
     lcomb = np.zeros(len(lids), dtype=np.int64)
     rcomb = np.zeros(len(rids), dtype=np.int64)
@@ -52,6 +55,23 @@ def equi_join_indices(
             raise OverflowError("composite join key domain too large")
         lcomb = lcomb * n + inv[: len(lids)]
         rcomb = rcomb * n + inv[len(lids):]
+    return lcomb, rcomb, lids, rids
+
+
+def equi_join_indices(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs matching on all key columns.
+
+    ``left_keys[i]`` and ``right_keys[i]`` form the i-th equality
+    condition.  Returns ``(lidx, ridx)`` such that for every output row
+    ``k``: ``left_keys[i][lidx[k]] == right_keys[i][ridx[k]]`` for all i.
+    The result order is deterministic (sorted by right index, then left
+    run order).
+    """
+    lcomb, rcomb, lids, rids = combine_keys(left_keys, right_keys)
+    if len(lcomb) == 0 or len(rcomb) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
 
     order = np.argsort(lcomb, kind="stable")
     sorted_l = lcomb[order]

@@ -1,6 +1,8 @@
-"""Workloads: the Join Order Benchmark and the TPC-H comparison queries."""
+"""Workloads: the Join Order Benchmark, the TPC-H comparison queries,
+and synthetic kernel-stress cases."""
 
 from repro.workloads.job import JOB_QUERIES, job_queries, job_query
+from repro.workloads.synthetic import chain_case
 from repro.workloads.tpch_queries import TPCH_QUERIES, tpch_queries
 
 #: bump whenever any query definition (relations, selections, join
@@ -9,6 +11,7 @@ from repro.workloads.tpch_queries import TPCH_QUERIES, tpch_queries
 WORKLOAD_VERSION = 1
 
 __all__ = [
+    "chain_case",
     "JOB_QUERIES",
     "job_queries",
     "job_query",

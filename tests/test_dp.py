@@ -185,6 +185,29 @@ class TestDPProperties:
         assert "nlj" not in algorithms
         assert "inlj" not in algorithms  # no indexes in this design
 
+    def test_kernels_arg_overrides_environment(self, toy_db):
+        """An explicit ``DPEnumerator(kernels=...)`` wins over the env."""
+        from repro.kernels import use_backend
+
+        q = _toy_query()
+        model = SimpleCostModel(toy_db)
+        design = PhysicalDesign(toy_db, IndexConfig.PK_FK)
+        card = TrueCardinalities(toy_db).bind(q)
+        with use_backend("numpy"):
+            dp = DPEnumerator(model, design, kernels="python")
+            plan, cost = dp.optimize(QueryContext(q), card)
+        reference, ref_cost = DPEnumerator(model, design).optimize(
+            QueryContext(q), TrueCardinalities(toy_db).bind(q)
+        )
+        assert repr(plan) == repr(reference)
+        assert cost.hex() == ref_cost.hex()
+
+    def test_unknown_kernels_name_rejected(self, toy_db):
+        model = SimpleCostModel(toy_db)
+        design = PhysicalDesign(toy_db, IndexConfig.PK_FK)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            DPEnumerator(model, design, kernels="cuda")
+
     def test_recost_under_truth_not_below_true_optimum(self, imdb_tiny):
         """The paper's core recosting invariant: a plan chosen under
         estimates can never beat the true optimum when both are measured
@@ -198,3 +221,69 @@ class TestDPProperties:
         est_plan, _ = dp.optimize(ctx, PostgresEstimator(imdb_tiny).bind(q))
         _, true_optimal = dp.optimize(ctx, tcard)
         assert dp.recost(est_plan, tcard) >= true_optimal - 1e-9
+
+
+class TestKernelBackendParity:
+    """DP pricing is bit-identical across kernel backends: the chosen
+    plan's repr and the cost float (compared via ``.hex()``) must agree
+    exactly — ties included, which is what the rank-encoded winner
+    selection in :mod:`repro.kernels.dp` guarantees."""
+
+    @staticmethod
+    def _optimize(db, query, backend, *, config=IndexConfig.PK_FK,
+                  allow_nlj=True, shape=TreeShape.BUSHY, estimator=None):
+        from repro.kernels import use_backend
+
+        with use_backend(backend):
+            model = SimpleCostModel(db)
+            design = PhysicalDesign(db, config)
+            card = (estimator(db) if estimator is not None
+                    else TrueCardinalities(db)).bind(query)
+            dp = DPEnumerator(
+                model, design, allow_nlj=allow_nlj, shape=shape
+            )
+            plan, cost = dp.optimize(QueryContext(query), card)
+        return repr(plan), cost.hex()
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize(
+        "config", [IndexConfig.NONE, IndexConfig.PK_FK]
+    )
+    def test_random_schemas_identical(self, seed, config):
+        from test_truth_differential import _random_case
+
+        db, query = _random_case(seed, max_rel=9)  # 3–8 relations
+        assert (
+            self._optimize(db, query, "numpy", config=config)
+            == self._optimize(db, query, "python", config=config)
+        )
+
+    @pytest.mark.parametrize("name", ["3a", "13d", "17b"])
+    def test_job_queries_identical(self, imdb_tiny, name):
+        q = job_query(name)
+        assert (
+            self._optimize(imdb_tiny, q, "numpy")
+            == self._optimize(imdb_tiny, q, "python")
+        )
+
+    def test_estimated_cards_identical(self, imdb_tiny):
+        """Parity holds for estimate-driven DP too (no truth oracle in
+        the loop, so the batched unfiltered gathers hit the estimator)."""
+        q = job_query("13d")
+        assert (
+            self._optimize(imdb_tiny, q, "numpy", estimator=PostgresEstimator)
+            == self._optimize(imdb_tiny, q, "python",
+                              estimator=PostgresEstimator)
+        )
+
+    @pytest.mark.parametrize(
+        "shape", [TreeShape.LEFT_DEEP, TreeShape.ZIG_ZAG]
+    )
+    def test_shape_restricted_identical(self, imdb_tiny, shape):
+        q = job_query("3a")
+        assert (
+            self._optimize(imdb_tiny, q, "numpy", shape=shape,
+                           allow_nlj=False)
+            == self._optimize(imdb_tiny, q, "python", shape=shape,
+                              allow_nlj=False)
+        )

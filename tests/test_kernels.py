@@ -1,0 +1,300 @@
+"""Differential harness for the vectorized kernel backends.
+
+``repro.kernels`` re-implements the three hottest loops — subgraph
+enumeration, oracle materialisation, DP candidate pricing — as batched
+numpy kernels behind the existing interfaces.  The contract is
+**bit-identity**: same subset lists, same ``JoinEdge`` objects, same
+counts, same plan reprs, same cost floats, same stored bytes.  The
+truth-oracle and DP ends of that contract live in
+``test_truth_differential.py`` and ``test_dp.py``; this module pins the
+selection machinery, the enumeration kernels, the shared key encoder,
+and the end-to-end sweep (rows *and* persisted truth files).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.catalog.column import NULL_INT
+from repro.kernels import (
+    ENV_VAR,
+    active_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.query.join_graph import JoinGraph
+from repro.query.subgraphs import (
+    SubgraphCatalog,
+    connected_subsets,
+    csg_cmp_pairs,
+)
+from repro.util.bitset import popcount
+from repro.util.joinkeys import combine_keys
+from repro.workloads import job_query
+
+from test_truth_differential import _random_case
+
+
+# --------------------------------------------------------------------- #
+# backend selection
+# --------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_backend() == "python"
+
+    def test_environment_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert active_backend() == "numpy"
+
+    def test_explicit_name_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert resolve_backend("python") == "python"
+
+    def test_none_defers_to_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert resolve_backend(None) == "numpy"
+
+    @pytest.mark.parametrize("api", [resolve_backend, set_backend])
+    def test_unknown_backend_rejected(self, api):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            api("cuda")
+
+    def test_unknown_environment_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            active_backend()
+
+    def test_use_backend_restores_previous(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with use_backend("numpy"):
+            assert active_backend() == "numpy"
+        assert active_backend() == "python"
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        with use_backend("python"):
+            assert active_backend() == "python"
+        assert active_backend() == "numpy"
+
+    def test_set_backend_exports_to_environment(self, monkeypatch):
+        """Child workers inherit the choice through the environment,
+        under fork and spawn start methods alike."""
+        monkeypatch.setenv(ENV_VAR, "python")
+        set_backend("numpy")
+        assert os.environ[ENV_VAR] == "numpy"
+
+
+# --------------------------------------------------------------------- #
+# subgraph enumeration kernels
+# --------------------------------------------------------------------- #
+
+#: JOB queries spanning the size range (29a is the 17-relation flagship)
+JOB_CASES = ("1a", "3a", "13d", "17b", "29a")
+
+
+def _case_query(case):
+    if isinstance(case, str):
+        return job_query(case)
+    return _random_case(case, max_rel=9)[1]
+
+
+SUBGRAPH_CASES = list(JOB_CASES) + list(range(6))
+
+
+class TestSubgraphParity:
+    @pytest.mark.parametrize("case", SUBGRAPH_CASES)
+    def test_connected_subsets_identical(self, case):
+        graph = JoinGraph(_case_query(case))
+        with use_backend("python"):
+            reference = connected_subsets(graph)
+        with use_backend("numpy"):
+            vectorized = connected_subsets(graph)
+        assert vectorized == reference
+
+    @pytest.mark.parametrize("case", ["13d", 2])
+    @pytest.mark.parametrize("max_size", [1, 2, 3, 7])
+    def test_connected_subsets_max_size_identical(self, case, max_size):
+        graph = JoinGraph(_case_query(case))
+        with use_backend("python"):
+            reference = connected_subsets(graph, max_size)
+        with use_backend("numpy"):
+            vectorized = connected_subsets(graph, max_size)
+        assert vectorized == reference
+
+    @pytest.mark.parametrize("case", SUBGRAPH_CASES)
+    def test_csg_cmp_pairs_identical(self, case):
+        graph = JoinGraph(_case_query(case))
+        with use_backend("python"):
+            reference = csg_cmp_pairs(graph)
+        with use_backend("numpy"):
+            vectorized = csg_cmp_pairs(graph)
+        assert vectorized == reference
+
+    @pytest.mark.parametrize("case", ["3a", "29a", 0, 3])
+    def test_pair_edges_same_objects(self, case):
+        """Not just equal: the numpy path must hand back the graph's own
+        ``JoinEdge`` instances, in the python path's order."""
+        graph = JoinGraph(_case_query(case))
+        with use_backend("python"):
+            reference = SubgraphCatalog(graph).pair_edges
+        with use_backend("numpy"):
+            vectorized = SubgraphCatalog(graph).pair_edges
+        assert len(vectorized) == len(reference)
+        for (s1, s2, edges), (r1, r2, ref_edges) in zip(
+            vectorized, reference
+        ):
+            assert (s1, s2) == (r1, r2)
+            assert len(edges) == len(ref_edges)
+            assert all(e is r for e, r in zip(edges, ref_edges))
+
+    @pytest.mark.parametrize("case", ["13d", "29a", 1, 4])
+    def test_expansion_parents_identical(self, case):
+        query = _case_query(case)
+        with use_backend("python"):
+            catalog = SubgraphCatalog(JoinGraph(query))
+            reference = {
+                s: catalog.expansion_parent(s)
+                for s in catalog.csgs
+                if popcount(s) > 1
+            }
+        with use_backend("numpy"):
+            catalog = SubgraphCatalog(JoinGraph(query))
+            vectorized = {
+                s: catalog.expansion_parent(s)
+                for s in catalog.csgs
+                if popcount(s) > 1
+            }
+        assert vectorized == reference
+
+
+# --------------------------------------------------------------------- #
+# the shared composite-key encoder
+# --------------------------------------------------------------------- #
+
+
+class TestCombineKeys:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_codes_equal_iff_all_columns_equal(self, seed):
+        rng = np.random.default_rng(97 * (seed + 1))
+        n_cols = int(rng.integers(1, 4))
+        left = [rng.integers(-2, 9, size=40) for _ in range(n_cols)]
+        right = [rng.integers(-2, 9, size=55) for _ in range(n_cols)]
+        for column in (*left, *right):
+            column[rng.random(len(column)) < 0.1] = NULL_INT
+        lcomb, rcomb, lids, rids = combine_keys(left, right)
+        # dropped rows are exactly the ones with a NULL key component
+        assert np.array_equal(
+            lids, np.nonzero(~np.any([c == NULL_INT for c in left], 0))[0]
+        )
+        assert np.array_equal(
+            rids, np.nonzero(~np.any([c == NULL_INT for c in right], 0))[0]
+        )
+        code_match = lcomb[:, None] == rcomb[None, :]
+        column_match = np.ones_like(code_match)
+        for lk, rk in zip(left, right):
+            column_match &= lk[lids][:, None] == rk[rids][None, :]
+        assert np.array_equal(code_match, column_match)
+
+
+# --------------------------------------------------------------------- #
+# the synthetic chain workload
+# --------------------------------------------------------------------- #
+
+
+class TestChainCase:
+    def test_shape(self):
+        from repro.workloads import chain_case
+
+        db, query = chain_case(n_relations=8, n_rows=60, analyze=False)
+        assert query.n_relations == 8
+        assert len(query.joins) == 7
+        graph = JoinGraph(query)
+        # a chain of n relations has exactly n·(n+1)/2 connected subsets
+        assert len(connected_subsets(graph)) == 8 * 9 // 2
+
+    def test_oracle_and_dp_parity(self):
+        """A small chain instance end to end: counts and the chosen plan
+        must be bit-identical across backends (the 16-relation instance
+        runs in ``benchmarks/test_bench_kernels.py``)."""
+        from repro.cardinality import TrueCardinalities
+        from repro.cost import SimpleCostModel
+        from repro.enumeration import DPEnumerator, QueryContext
+        from repro.physical import IndexConfig, PhysicalDesign
+        from repro.workloads import chain_case
+
+        db, query = chain_case(n_relations=8, n_rows=60)
+        outputs = {}
+        for backend in ("python", "numpy"):
+            with use_backend(backend):
+                oracle = TrueCardinalities(db)
+                counts = oracle.compute_all(
+                    query, warm_unfiltered=(backend == "numpy")
+                )
+                dp = DPEnumerator(
+                    SimpleCostModel(db),
+                    PhysicalDesign(db, IndexConfig.PK_FK),
+                    allow_nlj=True,
+                )
+                plan, cost = dp.optimize(
+                    QueryContext(query), oracle.bind(query)
+                )
+            outputs[backend] = (counts, repr(plan), cost.hex())
+        assert outputs["numpy"] == outputs["python"]
+
+
+# --------------------------------------------------------------------- #
+# end to end: sweep rows and persisted truth bytes
+# --------------------------------------------------------------------- #
+
+
+class TestSweepParity:
+    def test_sweep_rows_and_stores_byte_identical(self, tmp_path):
+        """A full (tiny) sweep under each backend: identical row reprs,
+        byte-identical truth-store and result-store files.  This is the
+        local twin of CI's ``kernel-parity`` job."""
+        from repro.pipeline import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            scale="tiny",
+            seed=42,
+            query_names=("1a", "6a"),
+            estimators=("PostgreSQL", "HyPer"),
+        )
+        outputs = {}
+        for backend in ("python", "numpy"):
+            root = tmp_path / backend
+            with use_backend(backend):
+                result = run_sweep(
+                    spec, truth_root=root, result_root=root
+                )
+            files = {
+                p.relative_to(root).as_posix(): p.read_bytes()
+                for p in sorted(root.rglob("*.json"))
+                if not p.name.startswith(".")
+            }
+            assert files, "sweep persisted nothing"
+            outputs[backend] = ([repr(r) for r in result.rows], files)
+        assert outputs["numpy"] == outputs["python"]
+
+    def test_python_store_replays_identically_under_numpy(self, tmp_path):
+        """Warm-replay: rows priced by the python backend must replay
+        byte-for-byte when the store is read back under numpy."""
+        from repro.pipeline import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            scale="tiny", seed=42, query_names=("4a",),
+            estimators=("PostgreSQL",),
+        )
+        root = tmp_path / "store"
+        with use_backend("python"):
+            cold = run_sweep(spec, truth_root=root, result_root=root)
+        assert cold.priced_cells > 0
+        with use_backend("numpy"):
+            warm = run_sweep(spec, truth_root=root, result_root=root)
+        assert warm.priced_cells == 0
+        assert [repr(r) for r in warm.rows] == [repr(r) for r in cold.rows]

@@ -38,10 +38,12 @@ CASE_SEEDS = list(range(10))
 # --------------------------------------------------------------------- #
 
 
-def _random_case(seed: int) -> tuple[Database, Query]:
-    """A seeded random database + SPJ query over 3–6 relations."""
+def _random_case(seed: int, max_rel: int = 7) -> tuple[Database, Query]:
+    """A seeded random database + SPJ query over 3 to ``max_rel - 1``
+    relations (the default reproduces the original 3–6 relation draws
+    exactly; the kernel-parity tests widen to 3–8)."""
     rng = np.random.default_rng(1_000_003 * (seed + 1))
-    n_rel = int(rng.integers(3, 7))
+    n_rel = int(rng.integers(3, max_rel))
     db = Database(f"rand{seed}")
     n_rows = [int(rng.integers(8, 36)) for _ in range(n_rel)]
     # every relation i > 0 references one earlier relation (spanning tree)
@@ -224,6 +226,87 @@ def test_level_parallel_propagates_max_rows_guard():
             oracle.compute_all(query, processes=2)
     finally:
         oracle.close()
+
+
+class TestKernelBackendParity:
+    """The numpy oracle kernels must be bit-identical to the python path.
+
+    Counts are exact integers and unfiltered counts promote through the
+    same ``max_rows`` guard, so every observable — the subset set, every
+    count, every unfiltered count, and the guard's error message — must
+    agree exactly across ``REPRO_KERNELS=python|numpy``.
+    """
+
+    @pytest.mark.parametrize("seed", CASE_SEEDS)
+    def test_counts_identical(self, seed):
+        from repro.kernels import use_backend
+
+        db, query = _random_case(seed, max_rel=9)  # 3–8 relations
+        with use_backend("python"):
+            reference = TrueCardinalities(db).compute_all(query)
+        with use_backend("numpy"):
+            vectorized = TrueCardinalities(db).compute_all(query)
+        assert vectorized == reference
+
+    @staticmethod
+    def _all_unfiltered(db, query, backend):
+        """Every (subset, selected alias) unfiltered cardinality, with
+        guard errors captured as comparable strings."""
+        from repro.errors import EstimationError
+        from repro.kernels import use_backend
+        from repro.util.bitset import popcount
+
+        with use_backend(backend):
+            oracle = TrueCardinalities(db)
+            counts = oracle.compute_all(
+                query, warm_unfiltered=(backend == "numpy")
+            )
+            out = {}
+            for subset in counts:
+                if popcount(subset) < 2:
+                    continue
+                for alias in query.selections:
+                    if not (query.alias_bit(alias) & subset):
+                        continue
+                    try:
+                        value = oracle.cardinality(
+                            query, subset, unfiltered_alias=alias
+                        )
+                        out[(subset, alias)] = value.hex()
+                    except EstimationError as exc:
+                        out[(subset, alias)] = f"error: {exc}"
+        return counts, out
+
+    @pytest.mark.parametrize("seed", CASE_SEEDS[:6])
+    def test_unfiltered_counts_identical(self, seed):
+        """The warm side cache (numpy) must promote exactly the values
+        the python path computes on demand."""
+        db, query = _random_case(seed, max_rel=9)
+        if not query.selections:
+            pytest.skip("case drew no base selections")
+        py_counts, py_unf = self._all_unfiltered(db, query, "python")
+        np_counts, np_unf = self._all_unfiltered(db, query, "numpy")
+        assert np_counts == py_counts
+        assert np_unf == py_unf
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_max_rows_guard_message_identical(self, seed):
+        """The first guard violation (and its message) must be the same
+        subset under both backends — level order is part of the contract."""
+        from repro.errors import EstimationError
+        from repro.kernels import use_backend
+        from repro.util.bitset import popcount
+
+        db, query = _random_case(seed)
+        full = TrueCardinalities(db).compute_all(query)
+        cap = max(n for s, n in full.items() if popcount(s) > 1) - 1
+        messages = {}
+        for backend in ("python", "numpy"):
+            with use_backend(backend):
+                with pytest.raises(EstimationError) as excinfo:
+                    TrueCardinalities(db, max_rows=cap).compute_all(query)
+                messages[backend] = str(excinfo.value)
+        assert messages["python"] == messages["numpy"]
 
 
 def test_level_parallel_capped_then_full_identical():
