@@ -62,13 +62,16 @@ def build_resources(
     spec: SweepSpec | DeepSpec,
     truth_root: str | Path | None = None,
     kernels: str | None = None,
+    store_backend: str | None = None,
 ) -> WorkloadResources:
     """Deterministically build the workload a spec describes.
 
     ``kernels`` pins the pricing backend for this workload's oracle and
     enumerators (``None`` defers to ``REPRO_KERNELS``); it is execution
     policy, not part of the spec — both backends price every cell
-    bit-identically.
+    bit-identically.  ``store_backend`` likewise pins the truth store's
+    storage engine (``None`` defers to ``REPRO_STORE``): storage policy,
+    never part of a cell's identity.
     """
     db = make_database(
         spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
@@ -82,6 +85,7 @@ def build_resources(
             spec.seed,
             correlation=spec.correlation,
             dataset=spec.dataset,
+            backend=store_backend,
         )
     return WorkloadResources(
         db=db, queries=queries, truth_store=store, kernels=kernels
@@ -335,6 +339,7 @@ def run_cells(
     resume: bool = True,
     progress=None,
     stream_csv: str | Path | None = None,
+    store_backend: str | None = None,
 ):
     """Run any kind's grid incrementally: the one orchestration core.
 
@@ -372,7 +377,7 @@ def run_cells(
 
     units = kind.decompose(spec)
     store = (
-        ResultStore.for_spec(result_root, spec)
+        ResultStore.for_spec(result_root, spec, backend=store_backend)
         if result_root is not None
         else None
     )
@@ -505,6 +510,7 @@ def run_cells(
             processes=processes,
             truth_root=truth_root,
             resources=resources,
+            store_backend=store_backend,
         )
         scheduler.run(pending_units, _on_complete)
 
@@ -537,6 +543,7 @@ def run_sweep(
     resume: bool = True,
     progress=None,
     stream_csv: str | Path | None = None,
+    store_backend: str | None = None,
 ) -> SweepResult:
     """Run the shallow grid: :func:`run_cells` of the sweep kind."""
     from repro.pipeline.kinds import SWEEP_KIND
@@ -551,6 +558,7 @@ def run_sweep(
         resume=resume,
         progress=progress,
         stream_csv=stream_csv,
+        store_backend=store_backend,
     )
 
 
@@ -563,6 +571,7 @@ def run_deep_sweep(
     resume: bool = True,
     progress=None,
     stream_csv: str | Path | None = None,
+    store_backend: str | None = None,
 ) -> DeepResult:
     """Run the deep measurement grid: :func:`run_cells` of the deep kind.
 
@@ -583,4 +592,5 @@ def run_deep_sweep(
         resume=resume,
         progress=progress,
         stream_csv=stream_csv,
+        store_backend=store_backend,
     )

@@ -14,9 +14,14 @@ Staleness is checked per file, not trusted: every :meth:`refresh` stats
 the directory's row files and rebuilds the entry of any file whose
 ``(mtime_ns, size)`` no longer matches the manifest — so a concurrent
 sweep appending rows through its own store handle can never cause stale
-lookups here, it only costs one re-read of the changed file.  Entries of
-deleted files are dropped; files the manifest has never seen are
-indexed.
+lookups here, it only costs one re-read of the changed file.  A matching
+stat is still not proof: a same-size rewrite landing within the
+filesystem's mtime granularity of the original write is invisible to
+``(mtime_ns, size)``.  Entries therefore also record *when* they were
+indexed, and a file whose mtime is not strictly older than its entry's
+index time is treated as unverified and re-parsed (the same "racy
+clean" rule git's index applies).  Entries of deleted files are
+dropped; files the manifest has never seen are indexed.
 
 The manifest is a cache of the directory, never a source of truth: a
 missing, corrupt, or version-incompatible manifest is simply rebuilt
@@ -30,6 +35,7 @@ stat check, not from the manifest being current.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro.pipeline.truthstore import atomic_write_json, locked
@@ -37,13 +43,29 @@ from repro.pipeline.truthstore import atomic_write_json, locked
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.pipeline.results import ResultStore
 
-#: version 2 adds per-kind row-key sets (``deep_keys``/``deep_count``);
-#: a version-1 manifest is simply rebuilt from the row files — the row
+#: version 3 adds ``indexed_at_ns`` (the racy-clean staleness stamp);
+#: older manifests are simply rebuilt from the row files — the row
 #: files, not the manifest, are the source of truth
-_INDEX_VERSION = 2
+_INDEX_VERSION = 3
 
 #: manifest filename; dot-prefixed so per-query globs can skip it
 INDEX_FILENAME = ".index.json"
+
+
+def _index_clock_ns() -> int:
+    """The staleness stamp's clock, comparable against file mtimes.
+
+    File timestamps come from the kernel's *coarse* (tick-granular)
+    clock, which can lag ``time.time_ns()`` by a tick — stamping entries
+    from the fine clock would let a write landing just after a refresh
+    carry an mtime below the stamp and be wrongly trusted.  Reading the
+    coarse clock itself makes the comparison sound: any write after the
+    stamp gets ``mtime >= stamp``.
+    """
+    coarse = getattr(time, "CLOCK_REALTIME_COARSE", None)
+    if coarse is not None:
+        return time.clock_gettime_ns(coarse)
+    return time.time_ns()  # pragma: no cover - non-Linux fallback
 
 
 def row_key(estimator: str, config_fingerprint: str) -> str:
@@ -114,6 +136,14 @@ class StoreIndex:
         them without parsing (or drop-counting malformed rows) a second
         time.
         """
+        sql = getattr(self.store, "_sql", None)
+        if sql is not None:
+            # the sqlite manifest table is updated in the same transaction
+            # as every merge — it is current by construction, no stat
+            # dance needed (and nothing is re-parsed here)
+            entries = sql.manifest()
+            self._entries = entries
+            return entries, {}
         directory = self.store.directory
         if not directory.is_dir():
             self._entries = {}
@@ -125,6 +155,11 @@ class StoreIndex:
         entries: dict[str, dict] = {}
         parsed_rows: dict[str, object] = {}
         changed = False
+        # captured before any stat: an entry is only trustworthy if its
+        # file's mtime is strictly older than when the entry was indexed
+        # (a same-size rewrite inside mtime granularity is otherwise
+        # indistinguishable from the indexed content)
+        now_ns = _index_clock_ns()
         for path in sorted(directory.glob("*.json")):
             if path.name.startswith("."):
                 continue  # the manifest itself, lock files, temp files
@@ -138,6 +173,7 @@ class StoreIndex:
                 isinstance(old, dict)
                 and old.get("mtime_ns") == stat.st_mtime_ns
                 and old.get("size") == stat.st_size
+                and stat.st_mtime_ns < old.get("indexed_at_ns", 0)
             ):
                 entries[query] = old
                 continue
@@ -147,6 +183,7 @@ class StoreIndex:
                 "file": path.name,
                 "mtime_ns": stat.st_mtime_ns,
                 "size": stat.st_size,
+                "indexed_at_ns": now_ns,
                 "row_count": len(stored.rows),
                 "keys": sorted(row_key(e, f) for (e, f) in stored.rows),
                 "deep_count": sum(

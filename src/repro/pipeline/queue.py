@@ -51,6 +51,11 @@ _QUEUE_VERSION = 1
 #: default seconds a silent lease survives before any worker reclaims it
 DEFAULT_LEASE_TTL = 120.0
 
+#: default seconds of wall-clock disagreement tolerated between workers
+#: sharing a queue (heartbeat stamps are absolute ``time.time()`` values,
+#: so cross-machine skew directly widens or narrows every lease)
+DEFAULT_CLOCK_SKEW = 5.0
+
 
 @dataclass(frozen=True)
 class Lease:
@@ -90,7 +95,10 @@ class WorkQueue:
     """
 
     def __init__(
-        self, root: str | Path, lease_ttl: float = DEFAULT_LEASE_TTL
+        self,
+        root: str | Path,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock_skew: float = DEFAULT_CLOCK_SKEW,
     ) -> None:
         self.root = Path(root)
         for sub in ("specs", "pending", "leased", "done", "leases", "locks"):
@@ -104,14 +112,23 @@ class WorkQueue:
                     f"{config.get('version')!r}; this build reads "
                     f"{_QUEUE_VERSION}"
                 )
-            # the directory's ttl wins: every worker must agree on when
-            # a lease is stale, whatever their local default is
+            # the directory's ttl (and skew tolerance) wins: every worker
+            # must agree on when a lease is stale, whatever their local
+            # defaults are; queues from before the skew field default it
             self.lease_ttl = float(config["lease_ttl"])
+            self.clock_skew = float(
+                config.get("clock_skew", DEFAULT_CLOCK_SKEW)
+            )
         else:
             self.lease_ttl = float(lease_ttl)
+            self.clock_skew = float(clock_skew)
             atomic_write_json(
                 config_path,
-                {"version": _QUEUE_VERSION, "lease_ttl": self.lease_ttl},
+                {
+                    "version": _QUEUE_VERSION,
+                    "lease_ttl": self.lease_ttl,
+                    "clock_skew": self.clock_skew,
+                },
             )
 
     # ------------------------------------------------------------------ #
@@ -151,6 +168,7 @@ class WorkQueue:
         result_root: str | Path,
         truth_root: str | Path | None = None,
         resume: bool = True,
+        store_backend: str | None = None,
     ) -> EnqueueStats:
         """Queue a spec's still-unpriced units; idempotent per grid delta.
 
@@ -161,7 +179,15 @@ class WorkQueue:
         every cell is stored are not queued at all.  Re-enqueueing the
         same delta is a no-op: unit files are content-keyed by
         :func:`~repro.pipeline.kinds.unit_digest`.
+
+        The resolved ``store_backend`` is recorded in the spec file:
+        workers ship rows through the backend the enqueuer chose, not
+        whatever their local environment happens to say — a drain must
+        write one store, not a per-worker mix.
         """
+        from repro.pipeline.sqlstore import resolve_store_backend
+
+        backend = resolve_store_backend(store_backend)
         spec_key = spec_digest(kind, spec)
         atomic_write_json(
             self.root / "specs" / f"{spec_key}.json",
@@ -173,11 +199,12 @@ class WorkQueue:
                 "truth_root": (
                     str(truth_root) if truth_root is not None else None
                 ),
+                "store_backend": backend,
             },
         )
 
         units = kind.decompose(spec)
-        store = ResultStore.for_spec(result_root, spec)
+        store = ResultStore.for_spec(result_root, spec, backend=backend)
         stored = (
             kind.load_stored(store, [u.query for u in units])
             if resume
@@ -248,6 +275,25 @@ class WorkQueue:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    def _lease_expired(self, stamp: float | None, now: float) -> bool:
+        """Is a heartbeat stamp too old (or too strange) to trust?
+
+        Stamps are absolute wall-clock values written by whichever
+        machine holds the lease, so cross-machine skew must be budgeted
+        on both sides: a stamp *ahead* of ``now`` by more than
+        ``clock_skew`` comes from a clock too fast to reason about — a
+        naive age comparison would make that claimer look permanently
+        fresh even after it died — and is treated as expired; a stamp
+        *behind* ``now`` gets ``clock_skew`` of extra grace on top of
+        the ttl so a live worker on a slightly slow clock does not get
+        its lease stolen mid-unit.
+        """
+        if stamp is None:
+            return True
+        if stamp - now > self.clock_skew:
+            return True
+        return max(now - stamp, 0.0) > self.lease_ttl + self.clock_skew
+
     def _holds(self, lease: Lease) -> bool:
         """Caller must hold the unit's flock.  A lease is held while the
         unit file sits in ``leased/`` *and* the heartbeat names this
@@ -267,7 +313,8 @@ class WorkQueue:
         """Move every expired lease back to ``pending``; count them.
 
         A lease is expired when its heartbeat stamp is older than the
-        queue's ``lease_ttl`` — or missing entirely, which covers a
+        queue's ``lease_ttl`` (plus the skew tolerance — see
+        :meth:`_lease_expired`) — or missing entirely, which covers a
         claimer that died between the rename and its first stamp.  The
         check-and-rename runs under the unit's flock, so it cannot race
         a live claim, heartbeat, or completion of the same unit.
@@ -279,8 +326,7 @@ class WorkQueue:
             with locked(self._lock(unit_id)):
                 if not path.exists():  # completed or already reclaimed
                     continue
-                stamp = self._lease_stamp(unit_id)
-                if stamp is not None and now - stamp <= self.lease_ttl:
+                if not self._lease_expired(self._lease_stamp(unit_id), now):
                     continue
                 os.replace(path, self.root / "pending" / path.name)
                 self._lease_path(unit_id).unlink(missing_ok=True)
@@ -364,7 +410,7 @@ class WorkQueue:
         leased_paths = list((self.root / "leased").glob("*.json"))
         for path in leased_paths:
             stamp = self._lease_stamp(path.stem.rsplit("-", 1)[-1])
-            if stamp is None or now - stamp > self.lease_ttl:
+            if self._lease_expired(stamp, now):
                 expired += 1
         return {
             "specs": len(list((self.root / "specs").glob("*.json"))),
@@ -405,8 +451,15 @@ class _SpecContext:
         self.kind = KINDS[info["kind"]]
         self.spec = self.kind.spec_from_payload(info["spec"])
         self.units = {u.query: u for u in self.kind.decompose(self.spec)}
-        self.store = ResultStore.for_spec(info["result_root"], self.spec)
-        self.resources = build_resources(self.spec, info["truth_root"])
+        # the enqueuer's backend choice rides in the spec file (older
+        # queues predate the field and fall back to the ambient default)
+        backend = info.get("store_backend")
+        self.store = ResultStore.for_spec(
+            info["result_root"], self.spec, backend=backend
+        )
+        self.resources = build_resources(
+            self.spec, info["truth_root"], store_backend=backend
+        )
 
     def close(self) -> None:
         self.resources.truth.close()

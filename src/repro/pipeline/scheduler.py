@@ -66,7 +66,12 @@ def _cell_pairs(cells) -> tuple[tuple[int, int], ...]:
 _WORKER: dict = {}
 
 
-def _init_worker(kind_name: str, spec, truth_root: str | None) -> None:
+def _init_worker(
+    kind_name: str,
+    spec,
+    truth_root: str | None,
+    store_backend: str | None = None,
+) -> None:
     from repro.pipeline.driver import build_resources
     from repro.pipeline.kinds import KINDS
     from repro.util.threads import pin_math_threads
@@ -81,7 +86,9 @@ def _init_worker(kind_name: str, spec, truth_root: str | None) -> None:
         spec = replace(spec, oracle_processes=1)
     _WORKER["kind"] = KINDS[kind_name]
     _WORKER["spec"] = spec
-    _WORKER["resources"] = build_resources(spec, truth_root)
+    _WORKER["resources"] = build_resources(
+        spec, truth_root, store_backend=store_backend
+    )
 
 
 def _run_unit(
@@ -116,12 +123,14 @@ class CellScheduler:
         processes: int = 1,
         truth_root: str | Path | None = None,
         resources=None,
+        store_backend: str | None = None,
     ) -> None:
         self.kind = kind
         self.spec = spec
         self.processes = processes
         self.truth_root = truth_root
         self.resources = resources
+        self.store_backend = store_backend
 
     def run(
         self,
@@ -156,7 +165,10 @@ class CellScheduler:
 
         resources = self.resources
         if resources is None:
-            resources = driver.build_resources(self.spec, self.truth_root)
+            resources = driver.build_resources(
+                self.spec, self.truth_root,
+                store_backend=self.store_backend,
+            )
             self.resources = resources
         priced: dict[str, object] = {}
         for unit in ordered:
@@ -188,7 +200,9 @@ class CellScheduler:
         with ctx.Pool(
             processes=min(self.processes, max(len(payloads), 1)),
             initializer=_init_worker,
-            initargs=(self.kind.name, self.spec, truth_arg),
+            initargs=(
+                self.kind.name, self.spec, truth_arg, self.store_backend,
+            ),
         ) as pool:
             for query_name, raw, seconds in pool.imap_unordered(
                 _run_unit, payloads, chunksize=1

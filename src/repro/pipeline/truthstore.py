@@ -65,20 +65,46 @@ def locked(lock_path: Path):
             if fcntl is not None:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
+def _fsync_directory(path: Path) -> None:
+    """Flush a directory's entries to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems refuse
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(path: Path, payload: dict) -> None:
-    """Write ``payload`` as JSON via temp file + rename (never torn)."""
+    """Write ``payload`` as JSON via temp file + rename, durably.
+
+    ``os.replace`` alone keeps *live* readers safe (they see the old or
+    the new file, never a torn one) but says nothing about a crash:
+    without an ``fsync`` of the temp file's data before the rename, the
+    final name can point at an empty or truncated inode after a power
+    loss — which reads as corrupt and silently re-prices everything the
+    file held.  So: flush and fsync the data first, rename, then fsync
+    the parent directory so the rename itself survives the crash.
+    """
     fd, tmp = tempfile.mkstemp(
         prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
     )
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         # mkstemp creates 0600 files; a shared cache directory must be
         # readable by other users, so restore the umask-derived mode
         umask = os.umask(0)
         os.umask(umask)
         os.chmod(tmp, 0o666 & ~umask)
         os.replace(tmp, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -125,8 +151,77 @@ class TruthPayload:
         return covers(self.max_size, max_size, full)
 
 
+def parse_truth_raw(raw) -> TruthPayload | None:
+    """Parse one query's raw truth payload; ``None`` when unreadable.
+
+    Shared by every storage backend, so a payload written through one
+    backend and read through another parses to identical values.
+    """
+    if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+        return None
+    try:
+        counts = {int(k): int(v) for k, v in raw["counts"].items()}
+        unfiltered = {}
+        for key, value in raw.get("unfiltered", {}).items():
+            subset, _, alias = key.partition(":")
+            unfiltered[(int(subset), alias)] = int(value)
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
+    return TruthPayload(
+        counts=counts, unfiltered=unfiltered, max_size=raw.get("max_size")
+    )
+
+
+def merged_truth(
+    existing: TruthPayload | None,
+    counts: dict[int, int],
+    unfiltered: dict[tuple[int, str], int] | None,
+    max_size: int | None,
+) -> tuple[dict[int, int], dict[tuple[int, str], int], int | None]:
+    """Union new counts into what a store already holds.
+
+    New values win on key conflicts (they are recomputations of the same
+    exact quantity) and the wider coverage claim is kept — the merge rule
+    both backends must agree on so that a size-capped run and a full
+    enumeration accumulate identically everywhere.
+    """
+    merged_counts = dict(counts)
+    merged_unfiltered = dict(unfiltered or {})
+    if existing is not None:
+        merged_counts = {**existing.counts, **merged_counts}
+        merged_unfiltered = {**existing.unfiltered, **merged_unfiltered}
+        if existing.covers(max_size):
+            max_size = existing.max_size
+    return merged_counts, merged_unfiltered, max_size
+
+
+def truth_payload_dict(
+    counts: dict[int, int],
+    unfiltered: dict[tuple[int, str], int],
+    max_size: int | None,
+) -> dict:
+    """The canonical serialised form of one query's truth payload."""
+    return {
+        "version": _FORMAT_VERSION,
+        "max_size": max_size,
+        "counts": {str(k): v for k, v in sorted(counts.items())},
+        "unfiltered": {
+            f"{subset}:{alias}": v
+            for (subset, alias), v in sorted(unfiltered.items())
+        },
+    }
+
+
 class TruthStore:
-    """One directory of per-query truth files for one generated database."""
+    """One directory of per-query truth files for one generated database.
+
+    ``backend`` selects the storage engine: ``"json"`` (the default, and
+    the format of record) keeps one atomic-rename JSON file per query;
+    ``"sqlite"`` keeps every query's counts in the directory's shared
+    ``store.sqlite`` (WAL journal, merge = one transaction).  ``None``
+    defers to the ``REPRO_STORE`` environment variable.  Both backends
+    store and serve identical values.
+    """
 
     def __init__(
         self,
@@ -135,13 +230,30 @@ class TruthStore:
         seed: int,
         correlation: float = 0.8,
         dataset: str = "imdb",
+        backend: str | None = None,
     ) -> None:
+        from repro.pipeline.sqlstore import (
+            SqlStore,
+            resolve_store_backend,
+            sqlite_path,
+        )
+
         self.root = Path(root)
         self.directory = self.root / db_key(
             scale, seed, correlation=correlation, dataset=dataset
         )
+        self.backend = resolve_store_backend(backend)
+        self._sql = (
+            SqlStore(sqlite_path(self.directory))
+            if self.backend == "sqlite"
+            else None
+        )
 
     def path(self, query_name: str) -> Path:
+        """Where this query's payload lives (the shared database file
+        for the sqlite backend)."""
+        if self._sql is not None:
+            return self._sql.path
         return self.directory / f"{query_name}.json"
 
     # ------------------------------------------------------------------ #
@@ -152,24 +264,13 @@ class TruthStore:
         Corrupt or incompatible files are treated as absent — the sweep
         recomputes and overwrites them.
         """
-        path = self.path(query_name)
+        if self._sql is not None:
+            return self._sql.load_truth(query_name)
         try:
-            raw = json.loads(path.read_text())
+            raw = json.loads(self.path(query_name).read_text())
         except (OSError, ValueError):
             return None
-        if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
-            return None
-        try:
-            counts = {int(k): int(v) for k, v in raw["counts"].items()}
-            unfiltered = {}
-            for key, value in raw.get("unfiltered", {}).items():
-                subset, _, alias = key.partition(":")
-                unfiltered[(int(subset), alias)] = int(value)
-        except (KeyError, TypeError, ValueError, AttributeError):
-            return None
-        return TruthPayload(
-            counts=counts, unfiltered=unfiltered, max_size=raw.get("max_size")
-        )
+        return parse_truth_raw(raw)
 
     def save(
         self,
@@ -180,36 +281,30 @@ class TruthStore:
     ) -> Path:
         """Merge-and-write the counts for ``query_name``, atomically and
         under a per-query exclusive lock (two workers saving the same
-        query cannot drop each other's counts)."""
+        query cannot drop each other's counts).  The sqlite backend gets
+        the same guarantee from a single immediate transaction."""
+        if self._sql is not None:
+            self._sql.merge_truth(
+                query_name, counts, unfiltered or {}, max_size
+            )
+            return self._sql.path
         path = self.path(query_name)
         path.parent.mkdir(parents=True, exist_ok=True)
         with locked(path.parent / f".{query_name}.lock"):
             existing = self.load(query_name)
-            merged_counts = dict(counts)
-            merged_unfiltered = dict(unfiltered or {})
-            if existing is not None:
-                merged_counts = {**existing.counts, **merged_counts}
-                merged_unfiltered = {
-                    **existing.unfiltered, **merged_unfiltered
-                }
-                if existing.covers(max_size):
-                    max_size = existing.max_size
-            payload = {
-                "version": _FORMAT_VERSION,
-                "max_size": max_size,
-                "counts": {
-                    str(k): v for k, v in sorted(merged_counts.items())
-                },
-                "unfiltered": {
-                    f"{subset}:{alias}": v
-                    for (subset, alias), v in sorted(merged_unfiltered.items())
-                },
-            }
-            atomic_write_json(path, payload)
+            merged_counts, merged_unfiltered, max_size = merged_truth(
+                existing, counts, unfiltered, max_size
+            )
+            atomic_write_json(
+                path,
+                truth_payload_dict(merged_counts, merged_unfiltered, max_size),
+            )
         return path
 
     def known_queries(self) -> list[str]:
         """Names of queries with stored truth, sorted."""
+        if self._sql is not None:
+            return self._sql.truth_queries()
         if not self.directory.is_dir():
             return []
         return sorted(p.stem for p in self.directory.glob("*.json"))

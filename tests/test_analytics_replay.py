@@ -16,6 +16,7 @@ The acceptance bar of the replay layer:
 """
 
 import json
+import os
 import random
 
 import pytest
@@ -44,8 +45,15 @@ SPEC = SweepSpec(
 
 
 @pytest.fixture()
-def warm_store(tmp_path):
-    """A store fully covering SPEC, plus its directory root."""
+def warm_store(tmp_path, monkeypatch):
+    """A store fully covering SPEC, plus its directory root.
+
+    Pinned to the JSON backend whatever ``REPRO_STORE`` says: the
+    corruption/manifest tests below tamper with the per-query JSON files
+    directly, which is exactly the mechanics the JSON backend owns (the
+    SQLite backend's parity has its own differential suite).
+    """
+    monkeypatch.setenv("REPRO_STORE", "json")
     run_sweep(SPEC, truth_root=tmp_path, result_root=tmp_path)
     return ResultStore.for_spec(tmp_path, SPEC), tmp_path
 
@@ -165,6 +173,40 @@ class TestStoreIndex:
         store, _ = warm_store
         store.index.refresh()
         assert store.known_queries() == ["1a", "4a", "6a"]
+
+    def test_same_size_rewrite_within_mtime_granularity_is_not_stale(
+        self, warm_store
+    ):
+        """A rewrite that keeps the file's size AND lands inside the
+        filesystem's mtime granularity is invisible to a pure
+        ``(mtime_ns, size)`` check — the index must treat entries whose
+        mtime is not strictly older than their index stamp as
+        unverified and re-parse them."""
+        store, _ = warm_store
+        path = store.path("4a")
+        keys_before = store.index.row_keys("4a")
+        assert len(keys_before) == 4
+
+        # freeze the file's stamp ahead of the clock so the indexing
+        # below and the rewrite after it land in one mtime granule (the
+        # deterministic version of an unlucky same-tick rewrite)
+        frozen = path.stat().st_mtime_ns + 2 * 10**9
+        os.utime(path, ns=(frozen, frozen))
+        store.index.refresh()
+
+        # same-size rewrite: swap one row key's fingerprint for an
+        # equal-length marker, byte count unchanged
+        old_key = keys_before[0]
+        estimator, _, fingerprint = old_key.partition("|")
+        new_key = f"{estimator}|{'f' * len(fingerprint)}"
+        text = path.read_text()
+        rewritten = text.replace(f'"{old_key}"', f'"{new_key}"')
+        assert len(rewritten) == len(text) and rewritten != text
+        path.write_text(rewritten)
+        os.utime(path, ns=(frozen, frozen))  # identical stat, new content
+
+        keys_after = store.index.row_keys("4a")
+        assert new_key in keys_after and old_key not in keys_after
 
     def test_scan_is_deterministic_and_filterable(self, warm_store):
         store, _ = warm_store

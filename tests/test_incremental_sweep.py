@@ -7,6 +7,10 @@ CSV contains complete rows while the sweep is still running.
 """
 
 import csv
+import json
+import multiprocessing
+import os
+import stat
 import threading
 import time
 
@@ -176,7 +180,8 @@ class TestResultStoreReplay:
         assert pooled.priced_cells == 8 and pooled.cached_cells == 4
         assert pooled.rows == run_sweep(SPEC).rows
 
-    def test_corrupt_result_file_reprices(self, tmp_path):
+    def test_corrupt_result_file_reprices(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "json")  # tampers with the file
         run_sweep(SPEC, truth_root=tmp_path, result_root=tmp_path)
         store = ResultStore.for_spec(tmp_path, SPEC)
         store.path("4a").write_text("not json{")
@@ -312,7 +317,7 @@ class TestSatelliteFixes:
                 time.sleep(0.05)  # widen the race window
                 return payload
 
-        store = SlowLoadStore(tmp_path, "tiny", 42)
+        store = SlowLoadStore(tmp_path, "tiny", 42, backend="json")
         errors = []
 
         def save(offset):
@@ -332,6 +337,156 @@ class TestSatelliteFixes:
         payload = store.load("1a")
         assert payload.counts == {0: 1, 1: 2, 2: 3, 3: 4}
 
+    def test_atomic_write_fsyncs_data_before_rename_and_dir_after(
+        self, tmp_path, monkeypatch
+    ):
+        """The rename alone is not crash-durable: the temp file's data
+        must be fsync'd before ``os.replace`` (or the final name can
+        point at a truncated inode after power loss) and the directory
+        after (or the rename itself can vanish)."""
+        from repro.pipeline.truthstore import atomic_write_json
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            kind = "dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file"
+            events.append(("fsync", kind))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", None))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.pipeline.truthstore.os.fsync", spy_fsync)
+        monkeypatch.setattr(
+            "repro.pipeline.truthstore.os.replace", spy_replace
+        )
+        atomic_write_json(tmp_path / "q.json", {"v": 1})
+        replace_at = events.index(("replace", None))
+        assert ("fsync", "file") in events[:replace_at]
+        assert ("fsync", "dir") in events[replace_at + 1:]
+
+    def test_failed_flush_never_clobbers_existing_payload(
+        self, tmp_path, monkeypatch
+    ):
+        """A writer dying mid-flush (simulated: fsync raises) must leave
+        the previously stored payload untouched at the final path and no
+        temp debris behind."""
+        from repro.pipeline.truthstore import atomic_write_json
+
+        path = tmp_path / "q.json"
+        atomic_write_json(path, {"old": 1})
+
+        def exploding_fsync(fd):
+            raise OSError("simulated crash mid-flush")
+
+        monkeypatch.setattr(
+            "repro.pipeline.truthstore.os.fsync", exploding_fsync
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_json(path, {"new": 2})
+        assert json.loads(path.read_text()) == {"old": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["q.json"]
+
+
+def _torture_writer(args):
+    """One torture process: interleaved sweep-row / deep-cell / truth
+    saves to the same query (module-level so the pool can pickle it)."""
+    from repro.pipeline.grid import DeepRow, SweepRow
+
+    root, backend, worker_index, per_worker = args
+    store = ResultStore(root, "tiny", 42, backend=backend)
+    truth = TruthStore(root, "tiny", 42, backend=backend)
+    for i in range(per_worker):
+        n = worker_index * per_worker + i
+        store.save(
+            "1a",
+            {(f"est{n:03d}", "fp"): SweepRow(
+                query="1a", estimator=f"est{n:03d}", config="c",
+                est_cost=float(n) + 0.25, true_cost=1.0, optimal_cost=1.0,
+                slowdown=1.0, q_error=1.0,
+            )},
+        )
+        store.save_deep(
+            "1a",
+            {f"subexpr|est{n:03d}|fp": (DeepRow(
+                kind="subexpr", query="1a", estimator=f"est{n:03d}",
+                config="c", subset=3, true_card=float(n), est_card=0.5,
+            ),)},
+        )
+        truth.save("1a", {n: n + 1}, max_size=2)
+    return worker_index
+
+
+class TestConcurrentWriterTorture:
+    """N processes hammering one query through either backend must union
+    losslessly — JSON via the per-query flock, SQLite via immediate
+    transactions."""
+
+    WORKERS = 4
+    PER_WORKER = 6
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_interleaved_process_saves_union_losslessly(
+        self, tmp_path, backend
+    ):
+        total = self.WORKERS * self.PER_WORKER
+        jobs = [
+            (str(tmp_path), backend, w, self.PER_WORKER)
+            for w in range(self.WORKERS)
+        ]
+        with multiprocessing.get_context().Pool(self.WORKERS) as pool:
+            done = pool.map(_torture_writer, jobs)
+        assert sorted(done) == list(range(self.WORKERS))
+
+        store = ResultStore(tmp_path, "tiny", 42, backend=backend)
+        stored = store.load_all("1a")
+        assert len(stored.rows) == total
+        assert {e for (e, _) in stored.rows} == {
+            f"est{n:03d}" for n in range(total)
+        }
+        assert len(stored.deep) == total
+        truth = TruthStore(tmp_path, "tiny", 42, backend=backend)
+        payload = truth.load("1a")
+        assert payload.counts == {n: n + 1 for n in range(total)}
+        # the manifest agrees with the union (indexed queries, both kinds)
+        assert store.index.total_rows() == total
+        assert store.index.total_deep_rows() == total
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_interleaved_thread_saves_union_losslessly(
+        self, tmp_path, backend
+    ):
+        """Same torture with threads in one process: concurrent writers
+        to the same files/database must union (sqlite connections are
+        per-thread under the hood)."""
+        store = ResultStore(tmp_path, "tiny", 42, backend=backend)
+        truth = TruthStore(tmp_path, "tiny", 42, backend=backend)
+        errors = []
+
+        def writer(worker_index):
+            try:
+                _torture_writer(
+                    (str(tmp_path), backend, worker_index, self.PER_WORKER)
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,))
+            for w in range(self.WORKERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = self.WORKERS * self.PER_WORKER
+        assert len(store.load_all("1a").rows) == total
+        assert len(store.load_all("1a").deep) == total
+        assert truth.load("1a").counts == {n: n + 1 for n in range(total)}
+
 
 class TestParallelOracleRoundTrip:
     """The level-parallel oracle must be invisible on disk: stores written
@@ -345,6 +500,12 @@ class TestParallelOracleRoundTrip:
         estimators=("PostgreSQL", "HyPer"),
         oracle_processes=2,
     )
+
+    @pytest.fixture(autouse=True)
+    def _json_backend(self, monkeypatch):
+        """Byte-compares per-query truth *files* — JSON storage
+        mechanics; sqlite-backend parity lives in test_sqlstore.py."""
+        monkeypatch.setenv("REPRO_STORE", "json")
 
     @staticmethod
     def _truth_bytes(root):

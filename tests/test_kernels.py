@@ -253,11 +253,16 @@ class TestChainCase:
 
 
 class TestSweepParity:
-    def test_sweep_rows_and_stores_byte_identical(self, tmp_path):
+    def test_sweep_rows_and_stores_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
         """A full (tiny) sweep under each backend: identical row reprs,
         byte-identical truth-store and result-store files.  This is the
         local twin of CI's ``kernel-parity`` job."""
         from repro.pipeline import SweepSpec, run_sweep
+
+        # byte-compares per-query files: JSON storage mechanics
+        monkeypatch.setenv("REPRO_STORE", "json")
 
         spec = SweepSpec(
             scale="tiny",

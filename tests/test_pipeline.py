@@ -189,7 +189,8 @@ class TestTruthStore:
         store.save("1a", {7: 2}, max_size=3)
         assert store.load("1a").max_size is None
 
-    def test_corrupt_file_treated_as_absent(self, tmp_path):
+    def test_corrupt_file_treated_as_absent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "json")  # tampers with the file
         store = TruthStore(tmp_path, "tiny", 42)
         store.save("1a", {1: 10})
         store.path("1a").write_text("not json{")
@@ -227,8 +228,11 @@ class TestTruthStore:
         )
         assert rows == [r for r in first.rows if r.query == "1a"]
 
-    def test_warm_run_does_not_rewrite_store(self, tmp_path):
+    def test_warm_run_does_not_rewrite_store(self, tmp_path, monkeypatch):
         """A sweep that only consumed disk counts must not rewrite them."""
+        # stats the per-query file's mtime: JSON storage mechanics (a
+        # sqlite connection touches the shared file even when reading)
+        monkeypatch.setenv("REPRO_STORE", "json")
         spec = SweepSpec(
             scale="tiny", seed=42, query_names=("1a",),
             estimators=("PostgreSQL",),
@@ -273,7 +277,8 @@ class TestTruthStore:
         for subset, count in payload.counts.items():
             assert tcard(subset) == float(count)
 
-    def test_payload_json_is_stable(self, tmp_path):
+    def test_payload_json_is_stable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "json")  # reads the raw file
         store = TruthStore(tmp_path, "tiny", 42)
         store.save("1a", {3: 4, 1: 10})
         raw = json.loads(store.path("1a").read_text())

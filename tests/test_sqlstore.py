@@ -1,0 +1,530 @@
+"""Differential harness: the JSON and SQLite store backends must agree.
+
+The acceptance bar of the storage layer:
+
+* backend resolution is explicit arg > ``$REPRO_STORE`` > ``json``,
+  unknown names are rejected, and :func:`set_store_backend` exports the
+  choice so pool and queue workers inherit it;
+* both backends hold **bit-identical** rows (``repr``-level, so lost
+  ulps and ``-0.0`` flips count as failures), identical truth payloads
+  (including subset bitsets past 2**63 and unbounded exact counts), and
+  serve identical manifest answers;
+* every one of the 16 registered fig/table artifacts renders
+  byte-identical text from either backend, and a warm SQLite store
+  replays each of them with zero pricing of either kind and zero
+  database generation;
+* a two-worker queue drain through the SQLite backend leaves a store
+  whose rows match a sequential JSON sweep bit-for-bit;
+* ``repro store migrate`` converts a JSON cache in place — verified
+  row-for-row, idempotent — after which a SQLite replay prices nothing.
+"""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.experiments import frame as frame_mod
+from repro.pipeline import (
+    SWEEP_KIND,
+    DeepSpec,
+    ResultStore,
+    SweepSpec,
+    TruthStore,
+    WorkQueue,
+    run_deep_sweep,
+    run_sweep,
+    run_worker,
+    subexpr_deep_config,
+)
+from repro.pipeline import instrument
+from repro.pipeline.grid import TRUE_SOURCE
+from repro.pipeline.sqlstore import (
+    STORE_BACKENDS,
+    STORE_ENV,
+    MigrationError,
+    SqlStore,
+    migrate_directory,
+    migrate_root,
+    resolve_store_backend,
+    set_store_backend,
+    sqlite_path,
+)
+
+QUERIES = ("1a", "4a")
+BASE = SweepSpec(scale="tiny", seed=42, query_names=QUERIES)
+SPEC = SweepSpec(
+    scale="tiny",
+    seed=42,
+    query_names=QUERIES,
+    estimators=("PostgreSQL", "HyPer"),
+)
+DEEP = DeepSpec(
+    scale="tiny",
+    seed=42,
+    query_names=QUERIES,
+    estimators=("PostgreSQL", TRUE_SOURCE),
+    configs=(subexpr_deep_config(4),),
+)
+
+
+def _sweep_key(row):
+    return (row.query, row.estimator, row.config)
+
+
+def _deep_key(row):
+    return (row.kind, row.query, row.estimator, row.config, row.subset)
+
+
+# --------------------------------------------------------------------- #
+# backend resolution
+# --------------------------------------------------------------------- #
+
+
+class TestBackendResolution:
+    def test_default_is_json(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert resolve_store_backend() == "json"
+        assert resolve_store_backend(None) == "json"
+
+    def test_environment_sets_the_ambient_backend(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "sqlite")
+        assert resolve_store_backend() == "sqlite"
+
+    def test_explicit_argument_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "sqlite")
+        assert resolve_store_backend("json") == "json"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="parquet"):
+            resolve_store_backend("parquet")
+        monkeypatch.setenv(STORE_ENV, "bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_store_backend()
+
+    def test_set_store_backend_exports_to_workers(self, monkeypatch):
+        import os
+
+        # setenv (not delenv) so monkeypatch records a restore — the
+        # set_store_backend call below mutates os.environ directly and
+        # must not leak into the rest of the session
+        monkeypatch.setenv(STORE_ENV, "json")
+        assert set_store_backend("sqlite") == "sqlite"
+        assert os.environ[STORE_ENV] == "sqlite"
+        # a store built with no explicit choice now follows suit
+        assert resolve_store_backend() == "sqlite"
+
+    def test_both_stores_expose_their_backend(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert ResultStore(tmp_path, "tiny", 42).backend == "json"
+        rs = ResultStore(tmp_path, "tiny", 42, backend="sqlite")
+        ts = TruthStore(tmp_path, "tiny", 42, backend="sqlite")
+        assert rs.backend == ts.backend == "sqlite"
+        # one store.sqlite per db-key directory, shared by both halves
+        assert rs._sql.path == ts._sql.path == sqlite_path(ts.directory)
+
+
+# --------------------------------------------------------------------- #
+# row-level parity
+# --------------------------------------------------------------------- #
+
+
+class TestRowParity:
+    @pytest.fixture(scope="class")
+    def twin(self, tmp_path_factory):
+        """The same shallow + deep sweep priced through each backend."""
+        roots = {}
+        for backend in STORE_BACKENDS:
+            root = tmp_path_factory.mktemp(f"twin-{backend}")
+            run_sweep(
+                SPEC, truth_root=root, result_root=root,
+                store_backend=backend,
+            )
+            run_deep_sweep(
+                DEEP, truth_root=root, result_root=root,
+                store_backend=backend,
+            )
+            roots[backend] = root
+        return roots
+
+    def _stores(self, twin):
+        return {
+            backend: ResultStore.for_spec(root, SPEC, backend=backend)
+            for backend, root in twin.items()
+        }
+
+    def test_sweep_rows_bit_identical(self, twin):
+        stores = self._stores(twin)
+        reprs = {
+            backend: [
+                repr(r) for r in sorted(store.scan(), key=_sweep_key)
+            ]
+            for backend, store in stores.items()
+        }
+        assert reprs["json"] and reprs["json"] == reprs["sqlite"]
+
+    def test_deep_rows_bit_identical(self, twin):
+        stores = self._stores(twin)
+        reprs = {
+            backend: [
+                repr(r) for r in sorted(store.scan_deep(), key=_deep_key)
+            ]
+            for backend, store in stores.items()
+        }
+        assert reprs["json"] and reprs["json"] == reprs["sqlite"]
+
+    def test_manifest_answers_identical(self, twin):
+        stores = self._stores(twin)
+        js, sq = stores["json"], stores["sqlite"]
+        assert js.known_queries() == sq.known_queries() == list(QUERIES)
+        assert js.index.total_rows() == sq.index.total_rows() == 8
+        assert js.index.total_deep_rows() == sq.index.total_deep_rows()
+        for query in QUERIES:
+            assert js.index.row_keys(query) == sq.index.row_keys(query)
+            assert js.index.deep_keys(query) == sq.index.deep_keys(query)
+            for key in js.index.row_keys(query):
+                estimator, _, fingerprint = key.partition("|")
+                assert sq.index.lookup(query, estimator, fingerprint)
+
+    def test_sqlite_backend_writes_no_per_query_files(self, twin):
+        store = ResultStore.for_spec(twin["sqlite"], SPEC, backend="sqlite")
+        assert store._sql.path.exists()
+        assert not list(store.directory.glob("*.json"))
+
+    def test_warm_sqlite_replay_prices_and_generates_nothing(self, twin):
+        before = instrument.snapshot()
+        warm = run_sweep(
+            SPEC, truth_root=twin["sqlite"], result_root=twin["sqlite"],
+            store_backend="sqlite",
+        )
+        deep = run_deep_sweep(
+            DEEP, truth_root=twin["sqlite"], result_root=twin["sqlite"],
+            store_backend="sqlite",
+        )
+        delta = instrument.snapshot() - before
+        assert warm.priced_cells == 0 and deep.priced_cells == 0
+        assert delta.cells_priced == 0
+        assert delta.deep_cells_priced == 0
+        assert delta.db_generations == 0
+
+
+# --------------------------------------------------------------------- #
+# truth parity
+# --------------------------------------------------------------------- #
+
+
+class TestTruthParity:
+    #: a subset bitset past SQLite's signed-integer range and an exact
+    #: count no 64-bit column could hold — both must survive as TEXT
+    BIG_SUBSET = 2**63 + 11
+    BIG_COUNT = 10**30 + 7
+
+    def _twin_stores(self, tmp_path):
+        return {
+            backend: TruthStore(
+                tmp_path / backend, "tiny", 42, backend=backend
+            )
+            for backend in STORE_BACKENDS
+        }
+
+    def test_roundtrip_including_big_ints(self, tmp_path):
+        counts = {1: 7, 3: 0, self.BIG_SUBSET: self.BIG_COUNT}
+        unfiltered = {(3, "t"): 5, (self.BIG_SUBSET, "mc"): 12}
+        loaded = {}
+        for backend, store in self._twin_stores(tmp_path).items():
+            store.save("1a", counts, unfiltered, max_size=4)
+            loaded[backend] = store.load("1a")
+        assert loaded["json"] == loaded["sqlite"]
+        assert loaded["sqlite"].counts == counts
+        assert loaded["sqlite"].unfiltered == unfiltered
+        assert loaded["sqlite"].max_size == 4
+        assert type(loaded["sqlite"].counts[self.BIG_SUBSET]) is int
+
+    def test_merge_union_semantics_match(self, tmp_path):
+        loaded = {}
+        for backend, store in self._twin_stores(tmp_path).items():
+            store.save("1a", {1: 10, 2: 20}, {(1, "t"): 1}, max_size=2)
+            # overlapping key: the recomputation (new value) wins; the
+            # wider coverage claim (None = full) is kept
+            store.save("1a", {2: 25, 3: 30}, {(3, "mc"): 9}, max_size=None)
+            store.save("1a", {4: 40}, None, max_size=3)
+            loaded[backend] = store.load("1a")
+        assert loaded["json"] == loaded["sqlite"]
+        assert loaded["sqlite"].counts == {1: 10, 2: 25, 3: 30, 4: 40}
+        assert loaded["sqlite"].unfiltered == {(1, "t"): 1, (3, "mc"): 9}
+        assert loaded["sqlite"].max_size is None
+
+    def test_second_merge_keeps_first_counts(self, tmp_path):
+        """Regression: ``INSERT OR REPLACE`` on ``truth_queries`` fired
+        ``ON DELETE CASCADE`` and silently wiped every previously merged
+        count on each save — a true upsert must not."""
+        store = TruthStore(tmp_path, "tiny", 42, backend="sqlite")
+        store.save("1a", {1: 2}, max_size=1)
+        store.save("1a", {2: 3}, max_size=2)
+        assert store.load("1a").counts == {1: 2, 2: 3}
+
+    def test_known_queries_match(self, tmp_path):
+        names = {}
+        for backend, store in self._twin_stores(tmp_path).items():
+            store.save("4a", {1: 1})
+            store.save("1a", {1: 1})
+            names[backend] = store.known_queries()
+        assert names["json"] == names["sqlite"] == ["1a", "4a"]
+
+
+# --------------------------------------------------------------------- #
+# artifact parity: all 16 registered reports, both backends
+# --------------------------------------------------------------------- #
+
+
+ARTIFACTS = frame_mod.available_reports()
+
+
+class TestArtifactParity:
+    @pytest.fixture(scope="class")
+    def rendered(self, tmp_path_factory):
+        """Every artifact rendered cold per backend, then warm-replayed
+        under sqlite with instrument deltas captured."""
+        import os
+
+        texts, warm = {}, {}
+        original = os.environ.get(STORE_ENV)
+        try:
+            for backend in STORE_BACKENDS:
+                os.environ[STORE_ENV] = backend
+                root = tmp_path_factory.mktemp(f"report-{backend}")
+                for name in ARTIFACTS:
+                    texts[backend, name] = frame_mod.run_report(
+                        name, BASE, result_root=root, truth_root=root
+                    ).text
+                if backend != "sqlite":
+                    continue
+                for name in ARTIFACTS:
+                    before = instrument.snapshot()
+                    run = frame_mod.run_report(
+                        name, BASE, result_root=root, truth_root=root
+                    )
+                    warm[name] = (run, instrument.snapshot() - before)
+        finally:
+            if original is None:
+                os.environ.pop(STORE_ENV, None)
+            else:
+                os.environ[STORE_ENV] = original
+        return texts, warm
+
+    def test_registry_holds_all_sixteen_artifacts(self):
+        assert len(ARTIFACTS) == 16
+
+    @pytest.mark.parametrize("name", ARTIFACTS)
+    def test_backends_render_identical_bytes(self, name, rendered):
+        texts, _ = rendered
+        assert texts["json", name] == texts["sqlite", name]
+
+    @pytest.mark.parametrize("name", ARTIFACTS)
+    def test_warm_sqlite_replay_prices_nothing(self, name, rendered):
+        texts, warm = rendered
+        run, delta = warm[name]
+        assert run.text == texts["sqlite", name]
+        assert run.priced_cells == 0
+        assert delta.cells_priced == 0
+        assert delta.deep_cells_priced == 0
+        assert delta.db_generations == 0
+
+
+# --------------------------------------------------------------------- #
+# queue drain through the sqlite backend
+# --------------------------------------------------------------------- #
+
+
+class TestSqliteQueueDrain:
+    def test_two_worker_drain_matches_sequential_json(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        sequential = run_sweep(
+            SPEC, truth_root=tmp_path, result_root=tmp_path / "seq",
+            store_backend="json",
+        )
+        queue = WorkQueue(tmp_path / "q")
+        stats_enq = queue.enqueue(
+            SPEC, SWEEP_KIND, tmp_path / "par", truth_root=tmp_path,
+            store_backend="sqlite",
+        )
+        assert stats_enq.enqueued_cells == 8
+        # the enqueuer's backend choice rides in the spec file: workers
+        # need neither the flag nor the environment variable
+        stats = []
+
+        def drain(worker_id):
+            stats.append(run_worker(queue, worker_id=worker_id, poll=0.05))
+
+        threads = [
+            threading.Thread(target=drain, args=(w,)) for w in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert queue.drained() and queue.status()["done"] == 2
+        assert sum(s.cells_priced for s in stats) == 8
+        assert all(s.leases_lost == 0 for s in stats)
+        par = ResultStore.for_spec(tmp_path / "par", SPEC, backend="sqlite")
+        seq = ResultStore.for_spec(tmp_path / "seq", SPEC, backend="json")
+        assert par._sql.path.exists()
+        assert not list(par.directory.glob("*.json"))
+        assert [
+            repr(r) for r in sorted(par.scan(), key=_sweep_key)
+        ] == [
+            repr(r) for r in sorted(seq.scan(), key=_sweep_key)
+        ]
+        # ... and the drained store warm-replays: nothing priced again
+        warm = run_sweep(
+            SPEC, truth_root=tmp_path, result_root=tmp_path / "par",
+            store_backend="sqlite",
+        )
+        assert warm.priced_cells == 0
+        assert warm.rows == sequential.rows
+
+
+# --------------------------------------------------------------------- #
+# migration
+# --------------------------------------------------------------------- #
+
+
+class TestMigration:
+    @pytest.fixture()
+    def json_cache(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        run_sweep(
+            SPEC, truth_root=tmp_path, result_root=tmp_path,
+            store_backend="json",
+        )
+        run_deep_sweep(
+            DEEP, truth_root=tmp_path, result_root=tmp_path,
+            store_backend="json",
+        )
+        return tmp_path
+
+    def test_migrate_then_sqlite_replay_prices_nothing(self, json_cache):
+        stats = migrate_root(json_cache)
+        assert len(stats) == 1
+        entry = stats[0]
+        assert entry.result_queries == 2 and entry.sweep_rows == 8
+        assert entry.truth_queries == 2 and entry.truth_counts > 0
+        assert entry.deep_rows > 0
+        assert "verified" in entry.render()
+        before = instrument.snapshot()
+        warm = run_sweep(
+            SPEC, truth_root=json_cache, result_root=json_cache,
+            store_backend="sqlite",
+        )
+        deep = run_deep_sweep(
+            DEEP, truth_root=json_cache, result_root=json_cache,
+            store_backend="sqlite",
+        )
+        delta = instrument.snapshot() - before
+        assert warm.priced_cells == 0 and deep.priced_cells == 0
+        assert delta.cells_priced == 0
+        assert delta.deep_cells_priced == 0
+        assert delta.db_generations == 0
+
+    def test_migration_is_idempotent(self, json_cache):
+        first = migrate_root(json_cache)
+        second = migrate_root(json_cache)
+        assert first == second
+
+    def test_report_bytes_survive_migration(self, json_cache, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "json")
+        cold = frame_mod.run_report(
+            "fig6", BASE, result_root=json_cache, truth_root=json_cache
+        )
+        migrate_root(json_cache)
+        monkeypatch.setenv(STORE_ENV, "sqlite")
+        warm = frame_mod.run_report(
+            "fig6", BASE, result_root=json_cache, truth_root=json_cache
+        )
+        assert warm.text == cold.text
+        assert warm.priced_cells == 0
+
+    def test_verification_failure_raises_and_names_the_file(
+        self, json_cache, monkeypatch
+    ):
+        db_dir = next(p for p in json_cache.iterdir() if p.is_dir())
+        monkeypatch.setattr(
+            SqlStore, "load_truth", lambda self, query: None
+        )
+        with pytest.raises(MigrationError, match="truth payload mismatch"):
+            migrate_directory(db_dir)
+
+    def test_cli_round_trip(self, json_cache, capsys):
+        from repro.cli import main
+
+        assert main(["store", "migrate", "--cache", str(json_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "8 sweep row(s)" in out
+
+    def test_cli_empty_cache_is_a_notice_not_an_error(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        assert main(["store", "migrate", "--cache", str(tmp_path)]) == 0
+        assert "no database directories" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# sqlite-file plumbing
+# --------------------------------------------------------------------- #
+
+
+class TestSqlStoreFile:
+    def test_missing_file_reads_empty_without_creating_it(self, tmp_path):
+        store = SqlStore(tmp_path / "store.sqlite")
+        assert store.load_query_raw("1a") is None
+        assert store.load_truth("1a") is None
+        assert store.manifest() == {}
+        assert store.truth_queries() == []
+        assert not (tmp_path / "store.sqlite").exists()
+
+    def test_incompatible_format_version_refused(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        SqlStore(path).merge_rows("1a", {"e|f": {"x": 1}})
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '99' WHERE key = 'format'")
+        conn.commit()
+        conn.close()
+        from repro.pipeline.sqlstore import SqlStoreError
+
+        with pytest.raises(SqlStoreError, match="format version"):
+            SqlStore(path).load_query_raw("1a")
+
+    def test_wal_mode_and_foreign_keys_active(self, tmp_path):
+        store = SqlStore(tmp_path / "store.sqlite")
+        store.merge_truth("1a", {1: 2}, {}, 1)
+        conn = store._connect()
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert conn.execute("PRAGMA foreign_keys").fetchone()[0] == 1
+
+    def test_payloads_match_json_backend_files_exactly(self, tmp_path):
+        """The sqlite payload column holds the very dict the JSON file
+        keeps under the same key — one parser serves both backends."""
+        for backend in STORE_BACKENDS:
+            run_sweep(
+                SPEC, truth_root=tmp_path / backend,
+                result_root=tmp_path / backend, store_backend=backend,
+            )
+        js = ResultStore.for_spec(tmp_path / "json", SPEC, backend="json")
+        sq = ResultStore.for_spec(
+            tmp_path / "sqlite", SPEC, backend="sqlite"
+        )
+        for query in QUERIES:
+            file_raw = json.loads(js.path(query).read_text())
+            sql_raw = sq._sql.load_query_raw(query)
+            assert sql_raw["version"] == file_raw["version"]
+            assert sql_raw["rows"] == file_raw["rows"]
+            assert sql_raw["deep"] == file_raw["deep"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

@@ -97,8 +97,12 @@ class TestEnqueue:
 
 
 class TestLeaseProtocol:
-    def _queued(self, tmp_path, lease_ttl=60.0):
-        queue = WorkQueue(tmp_path / "q", lease_ttl=lease_ttl)
+    def _queued(self, tmp_path, lease_ttl=60.0, clock_skew=0.0):
+        # skew tolerance is zeroed by default: these tests manufacture
+        # sub-second expiries and must not wait out the real-world grace
+        queue = WorkQueue(
+            tmp_path / "q", lease_ttl=lease_ttl, clock_skew=clock_skew
+        )
         queue.enqueue(SPEC, SWEEP_KIND, tmp_path / "store")
         return queue
 
@@ -166,8 +170,68 @@ class TestLeaseProtocol:
         WorkQueue(tmp_path / "q", lease_ttl=7.0)
         assert WorkQueue(tmp_path / "q", lease_ttl=99.0).lease_ttl == 7.0
 
+    def _stamp(self, queue, lease, stamp):
+        """Overwrite a lease's heartbeat stamp (simulating a claimer
+        whose wall clock disagrees with ours)."""
+        queue._lease_path(lease.unit_id).write_text(
+            json.dumps({"worker": lease.worker_id, "stamp": stamp})
+        )
+
+    def test_future_stamp_beyond_skew_is_reclaimed(self, tmp_path):
+        # a claimer on a fast clock stamps an hour into our future; a
+        # naive `now - stamp <= ttl` check sees a negative age and calls
+        # it permanently fresh, so the unit would never be reclaimed
+        # after that claimer dies
+        queue = self._queued(tmp_path, lease_ttl=60.0, clock_skew=5.0)
+        lease = queue.claim("fast-clock")
+        self._stamp(queue, lease, time.time() + 3600.0)
+        assert queue.status()["expired"] == 1
+        assert queue.reclaim_expired() == 1
+        assert queue.status()["leased"] == 0
+
+    def test_future_stamp_within_skew_is_live(self, tmp_path):
+        queue = self._queued(tmp_path, lease_ttl=60.0, clock_skew=5.0)
+        lease = queue.claim("slightly-fast")
+        self._stamp(queue, lease, time.time() + 2.0)
+        assert queue.status()["expired"] == 0
+        assert queue.reclaim_expired() == 0
+
+    def test_stale_stamp_within_skew_grace_is_not_stolen(self, tmp_path):
+        # a live worker on a clock `skew` seconds slow writes stamps
+        # that look (ttl, ttl+skew] old here; stealing its lease would
+        # double-price the unit, so the grace must hold it
+        queue = self._queued(tmp_path, lease_ttl=60.0, clock_skew=5.0)
+        lease = queue.claim("slow-clock")
+        self._stamp(queue, lease, time.time() - 63.0)
+        assert queue.status()["expired"] == 0
+        assert queue.reclaim_expired() == 0
+        # ...but past ttl + skew the lease really is dead
+        self._stamp(queue, lease, time.time() - 66.0)
+        assert queue.status()["expired"] == 1
+        assert queue.reclaim_expired() == 1
+
+    def test_skew_recorded_in_queue_wins_over_local_default(self, tmp_path):
+        WorkQueue(tmp_path / "q", clock_skew=9.0)
+        assert WorkQueue(tmp_path / "q", clock_skew=1.0).clock_skew == 9.0
+
+    def test_queue_from_before_skew_field_gets_default(self, tmp_path):
+        from repro.pipeline.queue import DEFAULT_CLOCK_SKEW
+
+        WorkQueue(tmp_path / "q", lease_ttl=7.0)
+        config = tmp_path / "q" / "queue.json"
+        payload = json.loads(config.read_text())
+        del payload["clock_skew"]
+        config.write_text(json.dumps(payload))
+        assert WorkQueue(tmp_path / "q").clock_skew == DEFAULT_CLOCK_SKEW
+
 
 class TestDrainParity:
+    @pytest.fixture(autouse=True)
+    def _json_backend(self, monkeypatch):
+        """Byte-compares per-query store *files* — JSON storage
+        mechanics; the sqlite drain is covered by test_sqlstore.py."""
+        monkeypatch.setenv("REPRO_STORE", "json")
+
     def test_two_workers_drain_bit_identically_to_sequential(self, tmp_path):
         sequential = run_sweep(
             SPEC, truth_root=tmp_path, result_root=tmp_path / "seq"
