@@ -24,6 +24,35 @@ from repro.errors import EstimationError
 from repro.query.join_graph import JoinGraph
 from repro.query.query import JoinEdge, Query
 from repro.util.bitset import bit_indices
+from repro.util.flags import plan_cache_enabled
+
+#: cache-miss sentinel (``None`` is a legal cached value: "no edges")
+_MISSING = object()
+
+
+class _QueryPlanCache:
+    """Per-(estimator, query) closed-form bookkeeping, computed once.
+
+    DP enumeration evaluates the closed form for every connected subset
+    of every estimator — and almost everything in it is a pure function
+    of (query, subset): the subset's alias tuple, each relation's base
+    cardinality, and the combined spanning-edge selectivity.  Caching
+    those three preserves IEEE bit-identity because the remaining
+    arithmetic per call is exactly the original's multiplication
+    sequence: base cards in ``bit_indices`` order, then one multiply by
+    the (identically computed) combined selectivity.
+    """
+
+    __slots__ = ("query", "aliases", "base", "combined")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        #: subset -> alias tuple in bit order
+        self.aliases: dict[int, tuple[str, ...]] = {}
+        #: (alias, filtered) -> base cardinality
+        self.base: dict[tuple[str, bool], float] = {}
+        #: subset -> combined spanning-edge selectivity (None = no edges)
+        self.combined: dict[int, float | None] = {}
 
 
 class AnalyticEstimator(CardinalityEstimator):
@@ -33,6 +62,7 @@ class AnalyticEstimator(CardinalityEstimator):
         self.db = db
         self._graphs: dict[int, JoinGraph] = {}
         self._base_cache: dict[tuple[int, str], float] = {}
+        self._plan_caches: dict[int, _QueryPlanCache] = {}
 
     # ---- hooks ------------------------------------------------------- #
 
@@ -77,9 +107,35 @@ class AnalyticEstimator(CardinalityEstimator):
             self._base_cache[key] = card
         return card
 
-    def cardinality(
-        self, query: Query, subset: int, unfiltered_alias: str | None = None
+    def _plan_cache(self, query: Query) -> _QueryPlanCache:
+        key = id(query)
+        cache = self._plan_caches.get(key)
+        if cache is None or cache.query is not query:
+            cache = _QueryPlanCache(query)
+            self._plan_caches[key] = cache
+        return cache
+
+    def _combined_selectivity(
+        self, query: Query, subset: int
+    ) -> float | None:
+        """Combined spanning-edge selectivity of ``subset`` (None = none).
+
+        Estimator-specific (edge selectivities and the combine rule are
+        hooks) but subset-deterministic: the spanning set, the edge
+        selectivities, and therefore the combined product depend only on
+        (query, subset), so one evaluation serves every DP revisit.
+        """
+        graph = self._graph(query)
+        edges = self._spanning_edges(query, graph.edges_within(subset))
+        if not edges:
+            return None
+        sels = [self.edge_selectivity(query, e) for e in edges]
+        return self.combine_edge_selectivities(sels)
+
+    def _cardinality_reference(
+        self, query: Query, subset: int, unfiltered_alias: str | None
     ) -> float:
+        """The original (uncached) closed form — ``REPRO_PLAN_CACHE=0``."""
         indices = bit_indices(subset)
         if not indices:
             raise EstimationError("empty subset")
@@ -94,6 +150,42 @@ class AnalyticEstimator(CardinalityEstimator):
             if edges:
                 sels = [self.edge_selectivity(query, e) for e in edges]
                 card *= self.combine_edge_selectivities(sels)
+        return max(card, 1.0)
+
+    def cardinality(
+        self, query: Query, subset: int, unfiltered_alias: str | None = None
+    ) -> float:
+        if not plan_cache_enabled():
+            return self._cardinality_reference(query, subset, unfiltered_alias)
+        cache = self._plan_cache(query)
+        aliases = cache.aliases.get(subset)
+        if aliases is None:
+            aliases = tuple(
+                query.relation_at(i).alias for i in bit_indices(subset)
+            )
+            if not aliases:
+                raise EstimationError("empty subset")
+            cache.aliases[subset] = aliases
+        # same multiplication sequence as the reference path: base cards
+        # in bit order, then one multiply by the combined selectivity —
+        # cached floats, bit-identical products
+        card = 1.0
+        base = cache.base
+        for alias in aliases:
+            filtered = alias != unfiltered_alias
+            key = (alias, filtered)
+            b = base.get(key)
+            if b is None:
+                b = self.base_cardinality(query, alias, filtered=filtered)
+                base[key] = b
+            card *= b
+        if len(aliases) > 1:
+            combined = cache.combined.get(subset, _MISSING)
+            if combined is _MISSING:
+                combined = self._combined_selectivity(query, subset)
+                cache.combined[subset] = combined
+            if combined is not None:
+                card *= combined
         return max(card, 1.0)
 
     def _spanning_edges(

@@ -113,30 +113,40 @@ class DPEnumerator:
 
         # pair_edges is precomputed once per catalog: re-optimizing the
         # same query under another estimator or cost model skips the
-        # edges_between derivation for every csg–cmp pair
+        # edges_between derivation for every csg–cmp pair.  The loop
+        # binds every per-candidate attribute lookup to a local once —
+        # this is the hottest python-side loop the batched kernel does
+        # not cover, and attribute churn was a measurable slice of it.
+        best_get = best.get
+        join_cost = self.cost_model.join_cost
+        shape_admits = self._shape_admits
+        bushy = self.shape is TreeShape.BUSHY
+        design = self.design
+        allow_nlj = self.allow_nlj
+        allow_smj = self.allow_smj
         for s1, s2, edges in context.catalog.pair_edges:
             union = s1 | s2
-            current = best.get(union)
+            current = best_get(union)
             for a, b in ((s1, s2), (s2, s1)):
-                entry_a = best.get(a)
-                entry_b = best.get(b)
+                entry_a = best_get(a)
+                entry_b = best_get(b)
                 if entry_a is None or entry_b is None:
                     # unreachable under a shape restriction
                     continue
                 cost_a, plan_a = entry_a
                 cost_b, plan_b = entry_b
-                if not self._shape_admits(plan_a, plan_b):
+                if not bushy and not shape_admits(plan_a, plan_b):
                     continue
                 for node in candidate_joins(
                     query,
                     plan_a,
                     plan_b,
                     edges,
-                    self.design,
-                    allow_nlj=self.allow_nlj,
-                    allow_smj=self.allow_smj,
+                    design,
+                    allow_nlj=allow_nlj,
+                    allow_smj=allow_smj,
                 ):
-                    op_cost = self.cost_model.join_cost(node, card)
+                    op_cost = join_cost(node, card)
                     total = cost_a + op_cost
                     if node.algorithm != "inlj":
                         total += cost_b

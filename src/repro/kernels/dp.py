@@ -46,7 +46,7 @@ ALGO_HASH, ALGO_NLJ, ALGO_INLJ = 0, 1, 2
 _ALGO_NAMES = ("hash", "nlj", "inlj")
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: used as a weak cache key
 class _CandidateTables:
     """Card-independent candidate structure for one (catalog, DP config)."""
 
@@ -190,6 +190,46 @@ _tables_cache: "weakref.WeakKeyDictionary[object, dict]" = (
 )
 
 
+class _CardVectors:
+    """Gathered cardinality vectors for one (bound card, tables) pair."""
+
+    __slots__ = ("cards", "unf")
+
+    def __init__(self) -> None:
+        self.cards: np.ndarray | None = None
+        self.unf: np.ndarray | None = None
+
+
+#: per-BoundCard cache of the gathered per-csg cardinality vectors: a
+#: bound card memoises every subset individually, so the vector gather
+#: is deterministic per (card, candidate tables) — but re-gathering it
+#: per enumerator config was the dominant python loop left in batched
+#: pricing.  Two weak levels: dies with the bound card, and per card
+#: with the candidate tables (whose own cache dies with the catalog).
+_vector_cache: "weakref.WeakKeyDictionary[object, weakref.WeakKeyDictionary]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _vectors_for(card, tables) -> _CardVectors | None:
+    from repro.util.flags import plan_cache_enabled
+
+    if not plan_cache_enabled():
+        return None
+    try:
+        per_card = _vector_cache.get(card)
+        if per_card is None:
+            per_card = weakref.WeakKeyDictionary()
+            _vector_cache[card] = per_card
+    except TypeError:
+        return None  # not weakref-able: price uncached
+    holder = per_card.get(tables)
+    if holder is None:
+        holder = _CardVectors()
+        per_card[tables] = holder
+    return holder
+
+
 def _tables_for(context, design, shape, allow_nlj) -> _CandidateTables:
     per_catalog = _tables_cache.get(context.catalog)
     if per_catalog is None:
@@ -242,41 +282,62 @@ def optimize_batched(enumerator, context, card):
 
     # gather every subset's cardinality; with a warm truth oracle the
     # counts dict is read directly (``BoundCard._get`` is a bare
-    # ``float()`` of the same integer, so the values are identical)
-    cards = np.empty(n_csgs, dtype=np.float64)
-    counts = truth_state.counts if truth_state is not None else None
-    for i, subset in enumerate(t.csgs):
-        c = counts.get(subset) if counts is not None else None
-        cards[i] = card(subset) if c is None else float(c)
-    if np.isnan(cards).any():
-        return None
+    # ``float()`` of the same integer, so the values are identical).
+    # The gathered vector is cached per (bound card, tables): the card
+    # memoises each subset, so every re-gather would produce the same
+    # floats — sweeping five configs against one estimator gathers once.
+    vec = _vectors_for(card, t)
+    cards = vec.cards if vec is not None else None
+    if cards is None:
+        cards = np.empty(n_csgs, dtype=np.float64)
+        counts = truth_state.counts if truth_state is not None else None
+        for i, subset in enumerate(t.csgs):
+            c = counts.get(subset) if counts is not None else None
+            cards[i] = card(subset) if c is None else float(c)
+        if np.isnan(cards).any():
+            return None
+        cards.flags.writeable = False
+        if vec is not None:
+            vec.cards = cards
     fetched = cards[t.u] if len(t.u) else np.empty(0, dtype=np.float64)
     if len(t.unf_rows):
-        if (
-            isinstance(estimator, TrueCardinalities)
-            and estimator._backend() == "numpy"
-        ):
-            # the truth oracle answers these with real joins — bulk-warm
-            # its cache with one batched probe per expansion relation
-            from repro.kernels.oracle import prefetch_unfiltered
+        unf = vec.unf if vec is not None else None
+        if unf is None:
+            if (
+                isinstance(estimator, TrueCardinalities)
+                and estimator._backend() == "numpy"
+            ):
+                # the truth oracle answers these with real joins —
+                # bulk-warm its cache with one batched probe per
+                # expansion relation
+                from repro.kernels.oracle import prefetch_unfiltered
 
-            prefetch_unfiltered(
-                estimator, query, list(zip(t.unf_unions, t.unf_aliases))
-            )
-            truth_state = estimator._peek_state(query)
-        unf_cache = (
-            truth_state.unfiltered_counts if truth_state is not None else None
-        )
-        unf = np.empty(len(t.unf_rows), dtype=np.float64)
-        for k, (union, alias) in enumerate(zip(t.unf_unions, t.unf_aliases)):
-            c = (
-                unf_cache.get((union, alias))
-                if unf_cache is not None
+                prefetch_unfiltered(
+                    estimator, query, list(zip(t.unf_unions, t.unf_aliases))
+                )
+                truth_state = estimator._peek_state(query)
+            unf_cache = (
+                truth_state.unfiltered_counts
+                if truth_state is not None
                 else None
             )
-            unf[k] = card.unfiltered(union, alias) if c is None else float(c)
-        if np.isnan(unf).any():
-            return None
+            unf = np.empty(len(t.unf_rows), dtype=np.float64)
+            for k, (union, alias) in enumerate(
+                zip(t.unf_unions, t.unf_aliases)
+            ):
+                c = (
+                    unf_cache.get((union, alias))
+                    if unf_cache is not None
+                    else None
+                )
+                unf[k] = (
+                    card.unfiltered(union, alias) if c is None else float(c)
+                )
+            if np.isnan(unf).any():
+                return None
+            unf.flags.writeable = False
+            if vec is not None:
+                vec.unf = unf
         fetched[t.unf_rows] = unf
 
     for lo, hi in t.level_bounds:

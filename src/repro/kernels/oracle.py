@@ -35,6 +35,7 @@ back to the shared :func:`~repro.util.joinkeys.combine_keys` encode via
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -385,7 +386,43 @@ def expand_join(
     return _KeyedResult(n_rows=n_out, keys=keys)
 
 
-def _side_cache(state) -> dict:
+#: side-cache entry cap per truth state; comfortably above the largest
+#: JOB query's expansion-candidate count (a 17-relation query stays in
+#: the low thousands) yet bounding a long multi-query sweep's footprint
+SIDE_CACHE_CAP = 4096
+
+
+class _SideCache(OrderedDict):
+    """Bounded LRU for warm unfiltered counts (drop-in dict surface).
+
+    The warm pass speculates: it counts *every* neighbour expansion of
+    every live subset, and only some are ever promoted.  Unbounded,
+    that speculation accumulated across a whole multi-query sweep; the
+    LRU keeps the working set of the query being priced and quietly
+    forgets the rest.  An evicted entry is never wrong — the promotion
+    path falls through to the lazy join and recomputes the identical
+    count — so the cap is pure memory policy.
+    """
+
+    def __init__(self, cap: int | None = None) -> None:
+        super().__init__()
+        # read the module constant at construction (test-patchable)
+        self.cap = SIDE_CACHE_CAP if cap is None else cap
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.cap:
+            self.popitem(last=False)
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if value is not default:
+            self.move_to_end(key)
+        return value
+
+
+def _side_cache(state) -> _SideCache:
     """Memory-only unfiltered-count side cache (see ``compute_levels``).
 
     Entries are *candidates*, not observations: they reach the
@@ -396,7 +433,7 @@ def _side_cache(state) -> dict:
     """
     side = getattr(state, "kernel_unfiltered_side", None)
     if side is None:
-        side = {}
+        side = _SideCache()
         state.kernel_unfiltered_side = side
     return side
 

@@ -25,12 +25,14 @@ changed.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
 
 from repro.cardinality.qerror import q_error
 from repro.cost.base import plan_cost
 from repro.enumeration.dp import DPEnumerator
+from repro.pipeline.instrument import UnitTiming
 from repro.pipeline.grid import (
     TRUE_SOURCE,
     DeepResult,
@@ -56,6 +58,70 @@ from repro.pipeline.tasks import (
 )
 from repro.pipeline.truthstore import TruthStore
 from repro.query.query import Query
+from repro.util.flags import resource_cache_enabled
+
+# --------------------------------------------------------------------- #
+# process-level grid-point caches
+# --------------------------------------------------------------------- #
+#
+# A grid point — (dataset, scale, seed, correlation) — names one
+# deterministic database, yet the pipeline's entry points used to
+# regenerate it per call: per sequential sweep, per queue spec, per pool
+# publish.  These two tiny LRUs make the database (and, under
+# ``shared=True``, the whole resources object: estimators, ANALYZE
+# statistics, workspaces, truth state) a per-process singleton per grid
+# point.  Capacity 2 covers the realistic "imdb + tpch interleaved"
+# case without letting a scale scan pin every database it visits.
+# ``REPRO_RESOURCE_CACHE=0`` disables both (the benchmark's fresh-build
+# reference path); the cache is execution policy, never cell identity.
+
+_DB_CACHE_CAP = 2
+_DB_CACHE: OrderedDict[tuple, object] = OrderedDict()
+_RESOURCES_CAP = 2
+_RESOURCES_CACHE: OrderedDict[tuple, WorkloadResources] = OrderedDict()
+
+
+def _grid_key(spec: SweepSpec | DeepSpec) -> tuple:
+    from repro.datagen import DATAGEN_VERSION
+
+    return (
+        spec.dataset, spec.scale, spec.seed, spec.correlation,
+        DATAGEN_VERSION,
+    )
+
+
+def clear_grid_caches() -> None:
+    """Drop the process-level database/resources caches (tests, bench)."""
+    _DB_CACHE.clear()
+    for res in _RESOURCES_CACHE.values():
+        res.truth.close()
+    _RESOURCES_CACHE.clear()
+
+
+def grid_database(spec: SweepSpec | DeepSpec):
+    """The spec's grid-point database, generated at most once per process.
+
+    This is the master-side source for pooled shared-memory publishing:
+    back-to-back pooled sweeps of one grid point (the common
+    sweep-then-deep-sweep sequence) publish the same generated arrays
+    instead of regenerating between pools.
+    """
+    if not resource_cache_enabled():
+        return make_database(
+            spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
+        )
+    key = _grid_key(spec)
+    db = _DB_CACHE.get(key)
+    if db is None:
+        db = make_database(
+            spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
+        )
+        _DB_CACHE[key] = db
+        while len(_DB_CACHE) > _DB_CACHE_CAP:
+            _DB_CACHE.popitem(last=False)
+    else:
+        _DB_CACHE.move_to_end(key)
+    return db
 
 
 def build_resources(
@@ -63,6 +129,8 @@ def build_resources(
     truth_root: str | Path | None = None,
     kernels: str | None = None,
     store_backend: str | None = None,
+    db=None,
+    shared: bool = False,
 ) -> WorkloadResources:
     """Deterministically build the workload a spec describes.
 
@@ -72,10 +140,34 @@ def build_resources(
     bit-identically.  ``store_backend`` likewise pins the truth store's
     storage engine (``None`` defers to ``REPRO_STORE``): storage policy,
     never part of a cell's identity.
+
+    ``db`` supplies an already-materialised database (a pool worker's
+    shared-memory attach) instead of generating one.  ``shared=True``
+    opts into the process-level grid-point cache: repeated builds for
+    one grid point return one resources object — workspaces, truth
+    state, and estimators warm — with the spec's queries adopted into
+    it.  Both knobs are execution policy; every combination prices every
+    cell bit-identically.
     """
-    db = make_database(
-        spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
-    )
+    key = None
+    if shared and db is None and resource_cache_enabled():
+        from repro.kernels import resolve_backend
+        from repro.pipeline.sqlstore import resolve_store_backend
+
+        key = _grid_key(spec) + (
+            str(truth_root) if truth_root is not None else None,
+            resolve_backend(kernels),
+            resolve_store_backend(store_backend),
+        )
+        cached = _RESOURCES_CACHE.get(key)
+        if cached is not None:
+            _RESOURCES_CACHE.move_to_end(key)
+            cached.adopt_queries(spec_queries(spec))
+            return cached
+    if db is None:
+        db = grid_database(spec) if shared else make_database(
+            spec.dataset, spec.scale, spec.seed, correlation=spec.correlation
+        )
     queries = spec_queries(spec)
     store = None
     if truth_root is not None:
@@ -87,9 +179,15 @@ def build_resources(
             dataset=spec.dataset,
             backend=store_backend,
         )
-    return WorkloadResources(
+    resources = WorkloadResources(
         db=db, queries=queries, truth_store=store, kernels=kernels
     )
+    if key is not None:
+        _RESOURCES_CACHE[key] = resources
+        while len(_RESOURCES_CACHE) > _RESOURCES_CAP:
+            _, evicted = _RESOURCES_CACHE.popitem(last=False)
+            evicted.truth.close()
+    return resources
 
 
 def price_cells(
@@ -110,56 +208,63 @@ def price_cells(
     wanted = set(pairs)
     if not wanted:
         return []
-    from repro.pipeline.instrument import COUNTERS
+    from repro.pipeline.instrument import COUNTERS, phase
 
     COUNTERS.cells_priced += len(wanted)
-    ws: QueryWorkspace = resources.workspace(query)
+    with phase("enumerate"):
+        ws: QueryWorkspace = resources.workspace(query)
+        ws.catalog  # force the subgraph enumeration under its own timer
     # materialise the truth bottom-up first: compute_all bounds peak
     # memory to two size-generations of compressed intermediates, whereas
     # letting DP pull counts on demand would cache every materialisation
     # of every size at once on a 13-relation query
-    ws.compute_truth(processes=spec.oracle_processes, warm_unfiltered=True)
-    tcard = ws.true_card
+    with phase("truth"):
+        ws.compute_truth(
+            processes=spec.oracle_processes, warm_unfiltered=True
+        )
+        tcard = ws.true_card
     all_mask = query.all_mask
     rows: list[SweepRow] = []
-    for c_index, config in enumerate(spec.configs):
-        estimator_indices = [
-            e_index
-            for e_index in range(len(spec.estimators))
-            if (c_index, e_index) in wanted
-        ]
-        if not estimator_indices:
-            continue
-        cost_model = resources.cost_model(config.cost_model)
-        design = resources.design(config.indexes)
-        dp = DPEnumerator(
-            cost_model,
-            design,
-            allow_nlj=config.allow_nlj,
-            allow_smj=config.allow_smj,
-            shape=config.shape,
-            kernels=resources.kernels,
-        )
-        _, optimal_cost = dp.optimize(ws.context, tcard)
-        for e_index in estimator_indices:
-            estimator = spec.estimators[e_index]
-            card = ws.card(estimator)
-            plan, est_cost = dp.optimize(ws.context, card)
-            true_cost = plan_cost(plan, cost_model, tcard)
-            rows.append(
-                SweepRow(
-                    query=query.name,
-                    estimator=estimator,
-                    config=config.name,
-                    est_cost=est_cost,
-                    true_cost=true_cost,
-                    optimal_cost=optimal_cost,
-                    slowdown=true_cost / max(optimal_cost, 1e-9),
-                    q_error=q_error(card(all_mask), tcard(all_mask)),
-                )
+    with phase("dp"):
+        for c_index, config in enumerate(spec.configs):
+            estimator_indices = [
+                e_index
+                for e_index in range(len(spec.estimators))
+                if (c_index, e_index) in wanted
+            ]
+            if not estimator_indices:
+                continue
+            cost_model = resources.cost_model(config.cost_model)
+            design = resources.design(config.indexes)
+            dp = DPEnumerator(
+                cost_model,
+                design,
+                allow_nlj=config.allow_nlj,
+                allow_smj=config.allow_smj,
+                shape=config.shape,
+                kernels=resources.kernels,
             )
-    ws.save_truth()
-    ws.release()
+            _, optimal_cost = dp.optimize(ws.context, tcard)
+            for e_index in estimator_indices:
+                estimator = spec.estimators[e_index]
+                card = ws.card(estimator)
+                plan, est_cost = dp.optimize(ws.context, card)
+                true_cost = plan_cost(plan, cost_model, tcard)
+                rows.append(
+                    SweepRow(
+                        query=query.name,
+                        estimator=estimator,
+                        config=config.name,
+                        est_cost=est_cost,
+                        true_cost=true_cost,
+                        optimal_cost=optimal_cost,
+                        slowdown=true_cost / max(optimal_cost, 1e-9),
+                        q_error=q_error(card(all_mask), tcard(all_mask)),
+                    )
+                )
+    with phase("store"):
+        ws.save_truth()
+        ws.release()
     return rows
 
 
@@ -214,10 +319,12 @@ def price_deep_cells(
     wanted = set(pairs)
     if not wanted:
         return {}
-    from repro.pipeline.instrument import COUNTERS
+    from repro.pipeline.instrument import COUNTERS, phase
 
     COUNTERS.deep_cells_priced += len(wanted)
-    ws: QueryWorkspace = resources.workspace(query)
+    with phase("enumerate"):
+        ws: QueryWorkspace = resources.workspace(query)
+        ws.catalog  # force the subgraph enumeration under its own timer
 
     # materialise the widest truth any wanted cell needs, once: runtime
     # cells recost whole plans (full coverage), capped subexpr cells only
@@ -231,12 +338,13 @@ def price_deep_cells(
         else:
             caps.append(config.max_subexpr_size)
     truth_cap = None if need_full or not caps else max(caps)
-    ws.compute_truth(
-        max_size=truth_cap,
-        processes=spec.oracle_processes,
-        warm_unfiltered=need_full,
-    )
-    tcard = ws.true_card
+    with phase("truth"):
+        ws.compute_truth(
+            max_size=truth_cap,
+            processes=spec.oracle_processes,
+            warm_unfiltered=need_full,
+        )
+        tcard = ws.true_card
 
     cells: dict[str, tuple[DeepRow, ...]] = {}
     for c_index, config in enumerate(spec.configs):
@@ -254,22 +362,23 @@ def price_deep_cells(
                 if config.max_subexpr_size > 0
                 else None
             )
-            subsets = connected_subsets(ws.graph, max_size=cap)
-            for e_index in estimator_indices:
-                estimator = spec.estimators[e_index]
-                card = _deep_card(ws, estimator)
-                cells[deep_cell_key(config.kind, estimator, fp)] = tuple(
-                    DeepRow(
-                        kind="subexpr",
-                        query=query.name,
-                        estimator=estimator,
-                        config=config.name,
-                        subset=subset,
-                        true_card=float(tcard(subset)),
-                        est_card=float(card(subset)),
+            with phase("dp"):
+                subsets = connected_subsets(ws.graph, max_size=cap)
+                for e_index in estimator_indices:
+                    estimator = spec.estimators[e_index]
+                    card = _deep_card(ws, estimator)
+                    cells[deep_cell_key(config.kind, estimator, fp)] = tuple(
+                        DeepRow(
+                            kind="subexpr",
+                            query=query.name,
+                            estimator=estimator,
+                            config=config.name,
+                            subset=subset,
+                            true_card=float(tcard(subset)),
+                            est_card=float(card(subset)),
+                        )
+                        for subset in subsets
                     )
-                    for subset in subsets
-                )
         else:  # runtime
             from repro.errors import WorkBudgetExceeded
             from repro.execution import (
@@ -294,32 +403,34 @@ def price_deep_cells(
                     rehash=config.rehash, work_budget=config.work_budget
                 )
             )
-            for e_index in estimator_indices:
-                estimator = spec.estimators[e_index]
-                card = _deep_card(ws, estimator)
-                plan, est_cost = dp.optimize(ws.context, card)
-                true_cost = plan_cost(plan, cost_model, tcard)
-                ctx = ExecutionContext(resources.db, design, engine_cfg)
-                try:
-                    ms = execute_plan(plan, query, ctx).simulated_ms
-                    timed_out = 0
-                except WorkBudgetExceeded:
-                    ms = engine_cfg.work_budget / WORK_UNITS_PER_MS
-                    timed_out = 1
-                cells[deep_cell_key(config.kind, estimator, fp)] = (
-                    DeepRow(
-                        kind="runtime",
-                        query=query.name,
-                        estimator=estimator,
-                        config=config.name,
-                        plan_cost_true=true_cost,
-                        plan_cost_est=est_cost,
-                        sim_runtime_ms=ms,
-                        timed_out=timed_out,
-                    ),
-                )
-    ws.save_truth()
-    ws.release()
+            with phase("dp"):
+                for e_index in estimator_indices:
+                    estimator = spec.estimators[e_index]
+                    card = _deep_card(ws, estimator)
+                    plan, est_cost = dp.optimize(ws.context, card)
+                    true_cost = plan_cost(plan, cost_model, tcard)
+                    ctx = ExecutionContext(resources.db, design, engine_cfg)
+                    try:
+                        ms = execute_plan(plan, query, ctx).simulated_ms
+                        timed_out = 0
+                    except WorkBudgetExceeded:
+                        ms = engine_cfg.work_budget / WORK_UNITS_PER_MS
+                        timed_out = 1
+                    cells[deep_cell_key(config.kind, estimator, fp)] = (
+                        DeepRow(
+                            kind="runtime",
+                            query=query.name,
+                            estimator=estimator,
+                            config=config.name,
+                            plan_cost_true=true_cost,
+                            plan_cost_est=est_cost,
+                            sim_runtime_ms=ms,
+                            timed_out=timed_out,
+                        ),
+                    )
+    with phase("store"):
+        ws.save_truth()
+        ws.release()
     return cells
 
 
@@ -446,7 +557,7 @@ def run_cells(
         priced: int,
         cached: int,
         unit_rows: list,
-        unit_seconds: float,
+        timing: UnitTiming,
     ) -> None:
         if progress is not None:
             progress(
@@ -456,7 +567,9 @@ def run_cells(
                     total=total_units,
                     priced=priced,
                     cached=cached,
-                    unit_seconds=unit_seconds,
+                    unit_seconds=timing.seconds,
+                    setup_seconds=timing.setup_seconds,
+                    phases=timing.phases,
                     rows=tuple(unit_rows),
                     kernels=kernels,
                 )
@@ -472,9 +585,9 @@ def run_cells(
             unit_rows = _unit_rows(unit)
             if writer is not None:
                 writer.write(unit_rows)
-            _report(unit.query, 0, len(unit.cells), unit_rows, 0.0)
+            _report(unit.query, 0, len(unit.cells), unit_rows, UnitTiming())
 
-        def _on_complete(unit: CellUnit, raw, seconds: float) -> None:
+        def _on_complete(unit: CellUnit, raw, timing: UnitTiming) -> None:
             nonlocal completed
             completed += 1
             priced = kind.normalize(unit.cells, raw)
@@ -501,7 +614,7 @@ def run_cells(
                 len(priced),
                 len(cached_cells[unit.query]),
                 unit_rows,
-                seconds,
+                timing,
             )
 
         scheduler = CellScheduler(

@@ -442,7 +442,10 @@ class _SpecContext:
     rebuilt from the queue's JSON, the grid re-decomposed (cells are
     pure functions of the spec, so every worker sees identical units),
     resources and the result store attached.  Reused across units so a
-    worker draining many units of one spec generates its database once.
+    worker draining many units of one spec generates its database once —
+    and, through the driver's shared grid-point cache (``shared=True``),
+    a worker draining many *specs* of one grid point generates it once
+    too.
     """
 
     def __init__(self, info: dict) -> None:
@@ -458,7 +461,8 @@ class _SpecContext:
             info["result_root"], self.spec, backend=backend
         )
         self.resources = build_resources(
-            self.spec, info["truth_root"], store_backend=backend
+            self.spec, info["truth_root"], store_backend=backend,
+            shared=True,
         )
 
     def close(self) -> None:

@@ -23,6 +23,9 @@ Display name    Implementation
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+
 from repro.cardinality import (
     CoarseHistogramEstimator,
     DampedEstimator,
@@ -39,6 +42,28 @@ from repro.query.query import Query
 
 #: the paper's estimator line-up, in Table 1 / Figure 3 order
 ESTIMATOR_ORDER = ["PostgreSQL", "DBMS A", "DBMS B", "DBMS C", "HyPer"]
+
+#: environment knob for the per-workload workspace LRU capacity
+WORKSPACE_CAP_ENV = "REPRO_WORKSPACE_CAP"
+
+#: default workspace LRU capacity — a long-lived resources object (pool
+#: worker, shared grid cache, queue worker) keeps this many queries'
+#: workspaces (subgraph catalog, bound cards, truth pin) warm at once
+DEFAULT_WORKSPACE_CAP = 8
+
+
+def workspace_cap() -> int:
+    """The workspace LRU capacity: ``$REPRO_WORKSPACE_CAP`` or 8.
+
+    ``0`` (or any non-positive value) means unbounded.  Pure memory
+    policy: eviction only drops cached state that is rebuilt — and
+    truth counts that are reloaded from the truth store — on the next
+    visit, so every cap prices every cell bit-identically.
+    """
+    value = os.environ.get(WORKSPACE_CAP_ENV)
+    if value is None or value == "":
+        return DEFAULT_WORKSPACE_CAP
+    return int(value)
 
 
 def standard_estimators(db: Database) -> dict[str, CardinalityEstimator]:
@@ -264,19 +289,55 @@ class WorkloadResources:
             truth if truth is not None else TrueCardinalities(db, kernels=kernels)
         )
         self.truth_store = truth_store
-        self._workspaces: dict[str, QueryWorkspace] = {}
+        self._workspaces: OrderedDict[str, QueryWorkspace] = OrderedDict()
+        self._workspace_cap = workspace_cap()
         self._designs: dict[IndexConfig, PhysicalDesign] = {}
         self._cost_models: dict[str, "CostModel"] = {}
 
     # ------------------------------------------------------------------ #
 
     def workspace(self, query: Query) -> QueryWorkspace:
-        """The cached per-query workspace (keyed by query name)."""
+        """The cached per-query workspace (keyed by query name).
+
+        The cache is a bounded LRU (``REPRO_WORKSPACE_CAP``, default 8):
+        a worker that lives across many units of one grid point keeps
+        its hot queries' catalogs, bound cards, and truth pins alive
+        instead of rebuilding per unit, while a full-workload sweep
+        cannot accumulate every 13-relation catalog at once.  Eviction
+        goes through :meth:`evict_workspace`, so the subgraph catalog
+        and pinned truth state are released together.
+        """
         ws = self._workspaces.get(query.name)
         if ws is None:
             ws = QueryWorkspace(query, self)
             self._workspaces[query.name] = ws
+            cap = self._workspace_cap
+            if cap > 0:
+                while len(self._workspaces) > cap:
+                    oldest = next(iter(self._workspaces.values()))
+                    # persist any computed-but-unsaved truth before the
+                    # state is forgotten — eviction must never cost
+                    # correctness, only a reload on the next visit
+                    oldest.save_truth()
+                    self.evict_workspace(oldest.query)
+        else:
+            self._workspaces.move_to_end(query.name)
         return ws
+
+    def adopt_queries(self, queries: list[Query]) -> None:
+        """Fold another spec's queries into this (shared) workload.
+
+        Queries are identified by name; names already present keep their
+        existing object (and therefore their warm workspace/truth
+        state), new ones are appended.  This is what lets the grid-point
+        resource cache serve successive specs that select different
+        query subsets of one workload.
+        """
+        known = {q.name for q in self.queries}
+        for query in queries:
+            if query.name not in known:
+                self.queries.append(query)
+                known.add(query.name)
 
     def design(self, config: IndexConfig) -> PhysicalDesign:
         design = self._designs.get(config)

@@ -501,10 +501,16 @@ class UnitReport:
     computed versus replayed from the result store.  ``unit_seconds`` is
     the unit's pricing wall time (0.0 for fully replayed units), measured
     where the work ran — inside the pool worker for pooled sweeps — so
-    throughput numbers exclude IPC overhead.  ``rows`` carries the unit's
-    complete row set (replayed cells included) in canonical cell order,
-    which is what lets a streaming consumer fold summaries incrementally
-    from progress events alone.
+    throughput numbers exclude IPC overhead.  ``setup_seconds`` is the
+    one-time resource-construction cost (database generation or
+    shared-memory attach, estimator builds) amortised onto the first unit
+    its process completed: it is reported but **excluded** from
+    ``cells_per_second``, which keeps sequential and pooled throughput
+    comparable.  ``phases`` breaks the pricing seconds down by pipeline
+    stage (:data:`~repro.pipeline.instrument.PHASE_NAMES`).  ``rows``
+    carries the unit's complete row set (replayed cells included) in
+    canonical cell order, which is what lets a streaming consumer fold
+    summaries incrementally from progress events alone.
     """
 
     query: str
@@ -513,6 +519,8 @@ class UnitReport:
     priced: int
     cached: int
     unit_seconds: float = 0.0
+    setup_seconds: float = 0.0
+    phases: tuple[tuple[str, float], ...] = ()
     rows: tuple[SweepRow, ...] = ()
     #: kernel backend that priced the unit ("python" / "numpy"); both
     #: produce bit-identical rows, so this is provenance, not identity
@@ -536,7 +544,20 @@ class UnitReport:
             if self.priced and self.unit_seconds > 0
             else ""
         )
-        return f"[{self.index}/{self.total}] {self.query}: {source}{timing}"
+        setup = (
+            f" +{self.setup_seconds:.2f}s setup"
+            if self.setup_seconds > 0
+            else ""
+        )
+        breakdown = (
+            " [" + " ".join(f"{n}={s:.2f}s" for n, s in self.phases) + "]"
+            if self.phases
+            else ""
+        )
+        return (
+            f"[{self.index}/{self.total}] {self.query}: "
+            f"{source}{timing}{setup}{breakdown}"
+        )
 
 
 class CsvStreamWriter:

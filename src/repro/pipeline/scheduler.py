@@ -22,6 +22,17 @@ cell index pairs)`` to workers; workers rebuild the world
 deterministically from the (kind name, spec) pair they received at
 initialisation — one initializer, one worker shim, for every row kind.
 
+Under the default ``shm`` ship mode (:mod:`repro.pipeline.shmem`) the
+pooled path generates the database **once** in the master, publishes
+its columnar arrays into a shared-memory segment, and workers attach
+zero-copy instead of regenerating — the scheduler owns the segment's
+lifecycle (publish before the pool starts, unlink in a ``finally`` once
+it drains).  Workers ship their init cost and database-generation
+counter back with every unit, so the master can both amortise setup
+time honestly (:class:`~repro.pipeline.instrument.UnitTiming`) and
+*prove* that a pooled cold sweep generated each database exactly once
+(:attr:`CellScheduler.pool_stats`).
+
 The truth oracle has a pool of its own (``oracle_processes`` on either
 spec kind, see :mod:`repro.cardinality.truth_plan`): the sequential
 path gives it to every unit, and when exactly one unit is pending — the
@@ -35,17 +46,19 @@ bit-identical rows.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections.abc import Callable, Sequence
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.pipeline.instrument import UnitTiming
 from repro.pipeline.tasks import CellUnit
 
 #: callback invoked as each unit completes: (unit, the kind's raw
-#: pricing payload, and pricing wall seconds, measured where the work
+#: pricing payload, and a :class:`UnitTiming` measured where the work
 #: ran, so pooled units report worker-side time without IPC overhead)
-UnitCallback = Callable[[CellUnit, object, float], None]
+UnitCallback = Callable[[CellUnit, object, UnitTiming], None]
 
 
 def order_units(units: Sequence[CellUnit]) -> list[CellUnit]:
@@ -55,6 +68,40 @@ def order_units(units: Sequence[CellUnit]) -> list[CellUnit]:
 
 def _cell_pairs(cells) -> tuple[tuple[int, int], ...]:
     return tuple((c.config_index, c.estimator_index) for c in cells)
+
+
+@dataclass
+class PoolStats:
+    """Worker-side accounting gathered from pooled unit payloads.
+
+    ``db_generations`` maps worker pid -> databases generated *inside*
+    that worker since its initializer started (fork-inherited master
+    counts excluded); under the ``shm`` ship mode every worker must
+    report 0 — the master generated once and published.
+    ``init_seconds`` is each worker's one-time initialisation cost
+    (database attach or regeneration plus resource construction).
+    """
+
+    db_generations: dict[int, int] = field(default_factory=dict)
+    init_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def workers(self) -> int:
+        return len(self.init_seconds)
+
+    @property
+    def worker_db_generations(self) -> int:
+        """Databases generated inside pool workers (0 under ``shm``)."""
+        return sum(self.db_generations.values())
+
+    @property
+    def total_init_seconds(self) -> float:
+        return sum(self.init_seconds.values())
+
+    def note(self, stats: dict) -> None:
+        pid = stats["pid"]
+        self.db_generations[pid] = stats["db_generations"]
+        self.init_seconds[pid] = stats["init_seconds"]
 
 
 # --------------------------------------------------------------------- #
@@ -71,11 +118,15 @@ def _init_worker(
     spec,
     truth_root: str | None,
     store_backend: str | None = None,
+    manifest=None,
 ) -> None:
     from repro.pipeline.driver import build_resources
+    from repro.pipeline.instrument import COUNTERS, snapshot
     from repro.pipeline.kinds import KINDS
     from repro.util.threads import pin_math_threads
 
+    started = time.perf_counter()
+    before = snapshot()
     # the unit pool already owns the machine — one BLAS/OpenMP thread
     # per worker, or the numpy kernels oversubscribe the cores
     pin_math_threads(1)
@@ -84,24 +135,61 @@ def _init_worker(
     # machine, so each worker runs its oracle sequentially
     if spec.oracle_processes > 1:
         spec = replace(spec, oracle_processes=1)
+    db = None
+    if manifest is not None:
+        from repro.pipeline import shmem
+
+        db = shmem.attach_database(manifest)
     _WORKER["kind"] = KINDS[kind_name]
     _WORKER["spec"] = spec
     _WORKER["resources"] = build_resources(
-        spec, truth_root, store_backend=store_backend
+        spec, truth_root, store_backend=store_backend, db=db
     )
+    _WORKER["init_seconds"] = time.perf_counter() - started
+    # fork-started workers inherit the master's counters; everything the
+    # *worker* did is the delta against this baseline
+    _WORKER["base_generations"] = before.db_generations
+    _WORKER["init_pending"] = True
 
 
 def _run_unit(
     payload: tuple[str, tuple[tuple[int, int], ...]]
-) -> tuple[str, object, float]:
-    """The one pool-worker shim: price any kind's unit, report its time."""
+) -> tuple[str, object, UnitTiming, dict]:
+    """The one pool-worker shim: price any kind's unit, report its time.
+
+    The returned :class:`UnitTiming` carries the unit's pricing wall
+    seconds and per-phase breakdown; the worker's one-time init cost is
+    amortised onto the first unit it completes (``setup_seconds``).  The
+    trailing stats dict ships the worker's process-local counters back
+    to the master — counters do not cross process boundaries on their
+    own, and the zero-redundancy guarantee is exactly a claim about
+    *worker-side* generations.
+    """
+    from repro.pipeline.instrument import COUNTERS, phase_delta, phase_snapshot
+
     query_name, pairs = payload
     kind = _WORKER["kind"]
     spec = _WORKER["spec"]
     resources = _WORKER["resources"]
+    phases_before = phase_snapshot()
     started = time.perf_counter()
     raw = kind.price_raw(resources, resources.query(query_name), spec, pairs)
-    return query_name, raw, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    setup = _WORKER["init_seconds"] if _WORKER.get("init_pending") else 0.0
+    _WORKER["init_pending"] = False
+    timing = UnitTiming(
+        seconds=seconds,
+        setup_seconds=setup,
+        phases=phase_delta(phases_before),
+    )
+    stats = {
+        "pid": os.getpid(),
+        "db_generations": (
+            COUNTERS.db_generations - _WORKER["base_generations"]
+        ),
+        "init_seconds": _WORKER["init_seconds"],
+    }
+    return query_name, raw, timing, stats
 
 
 class CellScheduler:
@@ -114,6 +202,12 @@ class CellScheduler:
     ordering, fan-out, oracle policy, completion reporting — is shared by
     every row kind.  Resources for the sequential path are built lazily,
     so a fully cached sweep never generates its database at all.
+
+    ``ship`` selects how the pooled path distributes the database
+    (``None`` defers to ``$REPRO_SHIP``, default ``shm``): execution
+    policy, never cell identity.  After a pooled run,
+    :attr:`pool_stats` holds the workers' reported init costs and
+    generation counters.
     """
 
     def __init__(
@@ -124,13 +218,18 @@ class CellScheduler:
         truth_root: str | Path | None = None,
         resources=None,
         store_backend: str | None = None,
+        ship: str | None = None,
     ) -> None:
+        from repro.pipeline import shmem
+
         self.kind = kind
         self.spec = spec
         self.processes = processes
         self.truth_root = truth_root
         self.resources = resources
         self.store_backend = store_backend
+        self.ship = shmem.resolve_ship(ship)
+        self.pool_stats: PoolStats | None = None
 
     def run(
         self,
@@ -162,16 +261,22 @@ class CellScheduler:
         self, ordered: list[CellUnit], on_complete: UnitCallback | None
     ) -> dict[str, object]:
         from repro.pipeline import driver
+        from repro.pipeline.instrument import phase_delta, phase_snapshot
 
+        setup_seconds = 0.0
         resources = self.resources
         if resources is None:
+            setup_started = time.perf_counter()
             resources = driver.build_resources(
                 self.spec, self.truth_root,
                 store_backend=self.store_backend,
+                shared=True,
             )
+            setup_seconds = time.perf_counter() - setup_started
             self.resources = resources
         priced: dict[str, object] = {}
         for unit in ordered:
+            phases_before = phase_snapshot()
             started = time.perf_counter()
             raw = self.kind.price_raw(
                 resources,
@@ -182,8 +287,36 @@ class CellScheduler:
             elapsed = time.perf_counter() - started
             priced[unit.query] = raw
             if on_complete is not None:
-                on_complete(unit, raw, elapsed)
+                on_complete(
+                    unit,
+                    raw,
+                    UnitTiming(
+                        seconds=elapsed,
+                        setup_seconds=setup_seconds,
+                        phases=phase_delta(phases_before),
+                    ),
+                )
+            setup_seconds = 0.0  # amortised onto the first unit only
         return priced
+
+    def _publish(self):
+        """Publish the grid's database for worker attach (``shm`` mode).
+
+        Reuses an already-built resources object's database when one is
+        attached; otherwise generates (through the shared grid cache, so
+        repeated pooled sweeps of one grid point generate once).  Returns
+        ``None`` in ``generate`` mode — workers rebuild, as before.
+        """
+        if self.ship != "shm":
+            return None
+        from repro.pipeline import driver, shmem
+
+        db = (
+            self.resources.db
+            if self.resources is not None
+            else driver.grid_database(self.spec)
+        )
+        return shmem.publish_database(db)
 
     def _run_pooled(
         self, ordered: list[CellUnit], on_complete: UnitCallback | None
@@ -197,17 +330,28 @@ class CellScheduler:
         )
         ctx = multiprocessing.get_context()
         priced: dict[str, object] = {}
-        with ctx.Pool(
-            processes=min(self.processes, max(len(payloads), 1)),
-            initializer=_init_worker,
-            initargs=(
-                self.kind.name, self.spec, truth_arg, self.store_backend,
-            ),
-        ) as pool:
-            for query_name, raw, seconds in pool.imap_unordered(
-                _run_unit, payloads, chunksize=1
-            ):
-                priced[query_name] = raw
-                if on_complete is not None:
-                    on_complete(by_query[query_name], raw, seconds)
+        self.pool_stats = PoolStats()
+        published = self._publish()
+        manifest = published.manifest if published is not None else None
+        try:
+            with ctx.Pool(
+                processes=min(self.processes, max(len(payloads), 1)),
+                initializer=_init_worker,
+                initargs=(
+                    self.kind.name, self.spec, truth_arg,
+                    self.store_backend, manifest,
+                ),
+            ) as pool:
+                for query_name, raw, timing, stats in pool.imap_unordered(
+                    _run_unit, payloads, chunksize=1
+                ):
+                    priced[query_name] = raw
+                    self.pool_stats.note(stats)
+                    if on_complete is not None:
+                        on_complete(by_query[query_name], raw, timing)
+        finally:
+            # the publisher owns the segment: unlink exactly once, even
+            # when a worker (or a completion callback) raised mid-drain
+            if published is not None:
+                published.close()
         return priced

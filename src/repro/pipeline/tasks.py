@@ -63,16 +63,17 @@ def make_database(
     the parameter is accepted but has no effect there.
     """
     check_dataset(dataset)
-    from repro.pipeline.instrument import COUNTERS
+    from repro.pipeline.instrument import COUNTERS, phase
 
     COUNTERS.db_generations += 1
-    if dataset == "imdb":
-        from repro.datagen import generate_imdb
+    with phase("generate"):
+        if dataset == "imdb":
+            from repro.datagen import generate_imdb
 
-        return generate_imdb(scale, seed=seed, correlation=correlation)
-    from repro.datagen import generate_tpch
+            return generate_imdb(scale, seed=seed, correlation=correlation)
+        from repro.datagen import generate_tpch
 
-    return generate_tpch(scale, seed=seed)
+        return generate_tpch(scale, seed=seed)
 
 
 def workload_queries(dataset: str) -> list[Query]:
@@ -115,7 +116,15 @@ def config_fingerprint(config) -> str:
     :class:`~repro.pipeline.grid.DeepConfig` (deep cells); the two
     classes have disjoint field sets, so their fingerprints can never
     collide.
+
+    Configs are frozen dataclasses, so the hash is memoised per config
+    object: grid decomposition fingerprints every config per query per
+    sweep, and the json+sha256 round trip was pure bookkeeping churn.
     """
+    try:
+        return _fingerprint_cache[config]
+    except (KeyError, TypeError):
+        pass
     payload = {}
     for f in fields(config):
         value = getattr(config, f.name)
@@ -123,7 +132,17 @@ def config_fingerprint(config) -> str:
             value = value.name
         payload[f.name] = value
     blob = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+    try:
+        _fingerprint_cache[config] = digest
+    except TypeError:
+        pass  # unhashable config: fingerprint uncached
+    return digest
+
+
+#: config object -> fingerprint (configs are small frozen dataclasses;
+#: equal configs share one entry because frozen dataclasses hash by value)
+_fingerprint_cache: dict = {}
 
 
 @dataclass(frozen=True)

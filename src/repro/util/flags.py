@@ -1,0 +1,40 @@
+"""Boolean environment knobs shared by the performance toggles.
+
+A handful of pure *execution-policy* switches (plan-bookkeeping caches,
+the shared resource cache) are selectable through the environment so
+that benchmarks and differential tests can race the optimised path
+against its reference behaviour — exactly the role ``REPRO_KERNELS``
+plays for the numpy kernels.  None of these flags is ever part of a
+cell's identity: both settings of every flag produce bit-identical rows
+and stored bytes.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: plan-bookkeeping caches (analytic subset selectivities, DP card
+#: vectors); off = the pre-cache reference arithmetic, same floats
+PLAN_CACHE_ENV = "REPRO_PLAN_CACHE"
+
+#: process-level reuse of grid-point resources (database, estimators,
+#: workspaces) across sweeps/specs; off = fresh build per call
+RESOURCE_CACHE_ENV = "REPRO_RESOURCE_CACHE"
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """Read a boolean knob: unset -> ``default``; ``0/false/off/no`` -> False."""
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    return value.strip().lower() not in ("0", "false", "off", "no")
+
+
+def plan_cache_enabled() -> bool:
+    """Whether the plan-bookkeeping caches are active (default: yes)."""
+    return env_flag(PLAN_CACHE_ENV, True)
+
+
+def resource_cache_enabled() -> bool:
+    """Whether the shared grid-point resource cache is active."""
+    return env_flag(RESOURCE_CACHE_ENV, True)

@@ -1,0 +1,240 @@
+"""Differential harness for the zero-redundancy sweep machinery.
+
+Every sharing/caching layer this PR adds — shm-attached databases,
+worker-persistent workspaces, the grid-point resource cache, the
+plan-bookkeeping caches — is execution policy.  The proof obligation is
+always the same: the optimised path and the reference path must produce
+repr-identical rows and identical stored payloads, under both store
+backends and both kernel backends.  ``REPRO_*`` flags keep every
+reference path live and selectable, exactly like the kernel backends.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.pipeline.driver import clear_grid_caches, run_sweep
+from repro.pipeline.grid import SweepSpec
+from repro.pipeline.results import ResultStore
+from repro.pipeline.truthstore import TruthStore
+
+QUERIES = ("3a", "6a")
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(scale="tiny", seed=42, query_names=QUERIES)
+
+
+def _row_reprs(result):
+    return [repr(r) for r in result.rows]
+
+
+def _stored_state(result_root, truth_root, spec):
+    """Everything the stores hold, in comparable (repr-level) form."""
+    rstore = ResultStore.for_spec(result_root, spec)
+    rows = {q: sorted(map(repr, rstore.load(q).values())) for q in QUERIES}
+    tstore = TruthStore(
+        truth_root, spec.scale, spec.seed,
+        correlation=spec.correlation, dataset=spec.dataset,
+    )
+    truth = {}
+    for q in QUERIES:
+        payload = tstore.load(q)
+        assert payload is not None
+        truth[q] = (payload.counts, payload.unfiltered, payload.max_size)
+    return rows, truth
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_grid_caches()
+    yield
+    clear_grid_caches()
+
+
+class TestDifferentialStores:
+    @pytest.mark.parametrize("store_backend", ["json", "sqlite"])
+    @pytest.mark.parametrize("kernels", ["python", "numpy"])
+    def test_optimised_paths_match_reference_stores(
+        self, tmp_path, monkeypatch, store_backend, kernels
+    ):
+        """shm-pooled + warm caches vs fresh-per-unit: identical stores."""
+        monkeypatch.setenv("REPRO_KERNELS", kernels)
+        monkeypatch.setenv("REPRO_STORE", store_backend)
+        spec = _spec()
+
+        # reference: sequential, per-worker generation semantics, every
+        # cache off — the pre-PR arithmetic and lifecycle
+        monkeypatch.setenv("REPRO_SHIP", "generate")
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        monkeypatch.setenv("REPRO_RESOURCE_CACHE", "0")
+        ref_root = tmp_path / "ref"
+        ref = run_sweep(
+            spec,
+            truth_root=ref_root / "truth",
+            result_root=ref_root / "results",
+        )
+        ref_state = _stored_state(
+            ref_root / "results", ref_root / "truth", spec
+        )
+
+        # optimised: pooled with shm shipping, all caches on
+        monkeypatch.setenv("REPRO_SHIP", "shm")
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "1")
+        monkeypatch.setenv("REPRO_RESOURCE_CACHE", "1")
+        opt_root = tmp_path / "opt"
+        opt = run_sweep(
+            spec,
+            processes=2,
+            truth_root=opt_root / "truth",
+            result_root=opt_root / "results",
+        )
+        opt_state = _stored_state(
+            opt_root / "results", opt_root / "truth", spec
+        )
+
+        assert _row_reprs(opt) == _row_reprs(ref)
+        assert opt_state == ref_state
+
+    def test_plan_cache_flag_rows_identical(self, monkeypatch):
+        spec = _spec()
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        off = run_sweep(spec)
+        clear_grid_caches()
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "1")
+        on = run_sweep(spec)
+        assert _row_reprs(on) == _row_reprs(off)
+
+    def test_workspace_reuse_across_runs_rows_identical(self, monkeypatch):
+        """A warm shared resources object prices exactly like a cold one."""
+        monkeypatch.setenv("REPRO_RESOURCE_CACHE", "1")
+        spec = _spec()
+        cold = run_sweep(spec)
+        from repro.pipeline.instrument import snapshot
+
+        before = snapshot()
+        warm = run_sweep(spec)  # same grid point: cache hit, 0 generations
+        assert (snapshot() - before).db_generations == 0
+        assert _row_reprs(warm) == _row_reprs(cold)
+
+
+class TestWorkspaceLru:
+    def test_cap_bounds_live_workspaces(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKSPACE_CAP", "2")
+        from repro.pipeline.driver import build_resources
+
+        spec = SweepSpec(
+            scale="tiny", seed=42, query_names=("1a", "2a", "4a", "6a")
+        )
+        res = build_resources(spec)
+        for q in res.queries:
+            res.workspace(q)
+            assert len(res._workspaces) <= 2
+        # most-recently-used survive
+        assert set(res._workspaces) == {"4a", "6a"}
+        res.truth.close()
+
+    def test_eviction_does_not_change_rows(self, monkeypatch):
+        spec = SweepSpec(
+            scale="tiny", seed=42, query_names=("1a", "2a", "4a", "6a")
+        )
+        monkeypatch.setenv("REPRO_WORKSPACE_CAP", "0")  # unbounded
+        unbounded = run_sweep(spec)
+        clear_grid_caches()
+        monkeypatch.setenv("REPRO_WORKSPACE_CAP", "1")  # evict constantly
+        tight = run_sweep(spec)
+        assert _row_reprs(tight) == _row_reprs(unbounded)
+
+    def test_adopt_queries_merges_by_name(self):
+        from repro.pipeline.driver import build_resources
+        from repro.pipeline.tasks import spec_queries
+
+        spec_a = SweepSpec(scale="tiny", seed=42, query_names=("3a",))
+        spec_b = SweepSpec(scale="tiny", seed=42, query_names=("3a", "6a"))
+        res = build_resources(spec_a)
+        original = res.query("3a")
+        res.adopt_queries(spec_queries(spec_b))
+        assert {q.name for q in res.queries} == {"3a", "6a"}
+        assert res.query("3a") is original  # warm state kept
+        res.truth.close()
+
+
+class TestSideCacheBound:
+    def test_warm_side_cache_is_lru_bounded(self, monkeypatch):
+        from repro.kernels import oracle as okernel
+
+        cache = okernel._SideCache(cap=4)
+        for i in range(10):
+            cache[(i, "t")] = i
+            assert len(cache) <= 4
+        assert set(cache) == {(i, "t") for i in range(6, 10)}
+        # get() refreshes recency: (6, "t") must outlive the next insert
+        assert cache.get((6, "t")) == 6
+        cache[(10, "t")] = 10
+        assert (6, "t") in cache
+        assert (7, "t") not in cache
+
+    def test_truth_oracle_side_cache_peaks_below_cap(
+        self, imdb_tiny, monkeypatch
+    ):
+        """Regression: the warm pass must not outgrow the LRU cap."""
+        from repro.cardinality import TrueCardinalities
+        from repro.kernels import oracle as okernel, use_backend
+        from repro.workloads import job_query
+
+        monkeypatch.setattr(okernel, "SIDE_CACHE_CAP", 8)
+        with use_backend("numpy"):
+            truth = TrueCardinalities(imdb_tiny)
+            query = job_query("6a")
+            truth.compute_all(query, warm_unfiltered=True)
+            state = truth._peek_state(query)
+            side = getattr(state, "kernel_unfiltered_side", None)
+            assert side is not None and len(side) > 0
+            assert len(side) <= 8
+            assert side.cap == 8
+            truth.close()
+
+
+class TestPhaseTimers:
+    def test_unit_reports_carry_phase_breakdown(self):
+        reports = []
+        run_sweep(_spec(), progress=reports.append)
+        priced = [r for r in reports if r.priced]
+        assert priced, "expected freshly priced units"
+        for report in priced:
+            names = [n for n, _ in report.phases]
+            assert "dp" in names
+            assert all(s > 0 for _, s in report.phases)
+            # phase sites are disjoint: the breakdown cannot exceed the
+            # unit's wall time by more than the sequential setup slice
+            assert sum(s for _, s in report.phases) <= (
+                report.unit_seconds + report.setup_seconds + 0.05
+            )
+        # one-time resource construction lands on the first unit only
+        assert priced[0].setup_seconds > 0
+        assert all(r.setup_seconds == 0 for r in priced[1:])
+
+    def test_render_includes_breakdown(self):
+        from repro.pipeline.results import UnitReport
+
+        report = UnitReport(
+            query="3a", index=1, total=2, priced=10, cached=0,
+            unit_seconds=0.5, setup_seconds=0.25,
+            phases=(("truth", 0.3), ("dp", 0.2)),
+        )
+        rendered = report.render()
+        assert "+0.25s setup" in rendered
+        assert "truth=0.30s" in rendered
+        assert "dp=0.20s" in rendered
+
+    def test_generate_phase_accumulates(self, monkeypatch):
+        from repro.pipeline.instrument import phase_snapshot, phase_delta
+        from repro.pipeline.tasks import make_database
+
+        monkeypatch.setenv("REPRO_RESOURCE_CACHE", "0")
+        before = phase_snapshot()
+        make_database("imdb", "tiny", 42)
+        delta = dict(phase_delta(before))
+        assert delta.get("generate", 0.0) > 0
